@@ -1,0 +1,145 @@
+// Command misfit is the graft toolchain — the analog of the paper's
+// MiSFIT tool (§3.3). It assembles GIR source, inserts the SFI
+// sandboxing instructions, verifies the result, and signs it so the
+// kernel loader will accept it.
+//
+// Usage:
+//
+//	misfit build -key KEY -o graft.img graft.s    # assemble + rewrite + sign
+//	misfit asm -o graft.img graft.s               # assemble only (unsafe, unloadable)
+//	misfit verify -key KEY graft.img              # signature + SFI invariants
+//	misfit disasm graft.img                       # human-readable listing
+//	misfit sign -key KEY -o out.img graft.img     # (re)sign an existing image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vino/internal/sfi"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	key := fs.String("key", "vino-development-toolchain-key", "signing key shared with the kernel")
+	out := fs.String("o", "", "output file")
+	optimize := fs.Bool("O", false, "build: statically discharge provably in-segment checks")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fail(err)
+	}
+	args := fs.Args()
+
+	switch cmd {
+	case "build":
+		requireArg(args, "source file")
+		src := readFile(args[0])
+		build := sfi.BuildSafe
+		if *optimize {
+			build = sfi.BuildSafeOptimized
+		}
+		img, stats, err := build(string(src), sfi.NewSigner([]byte(*key)))
+		if err != nil {
+			fail(err)
+		}
+		writeImage(outOr(out, args[0], ".img"), img)
+		fmt.Fprintf(os.Stderr, "misfit: %q built: %d instructions (%d added), %d memory ops protected, %d indirect calls checked, %d checks discharged statically\n",
+			img.Name, len(img.Code), stats.InstrsAdded, stats.MemOpsProtected, stats.IndirectProtected, stats.StaticallySafe)
+	case "asm":
+		requireArg(args, "source file")
+		src := readFile(args[0])
+		img, err := sfi.BuildUnsafe(string(src))
+		if err != nil {
+			fail(err)
+		}
+		writeImage(outOr(out, args[0], ".img"), img)
+		fmt.Fprintf(os.Stderr, "misfit: %q assembled UNPROTECTED (%d instructions) — the kernel loader will reject it\n",
+			img.Name, len(img.Code))
+	case "verify":
+		requireArg(args, "image file")
+		img := readImage(args[0])
+		if err := sfi.Verify(img); err != nil {
+			fail(err)
+		}
+		signer := sfi.NewSigner([]byte(*key))
+		switch {
+		case !img.Safe:
+			fmt.Println("structurally valid, NOT SFI-protected: unloadable")
+		case !signer.Verify(img):
+			fmt.Println("SFI invariants hold, signature INVALID under this key: unloadable")
+			os.Exit(1)
+		default:
+			fmt.Println("OK: SFI-protected and signed; the kernel will load it")
+		}
+	case "disasm":
+		requireArg(args, "image file")
+		fmt.Print(sfi.Disassemble(readImage(args[0])))
+	case "sign":
+		requireArg(args, "image file")
+		img := readImage(args[0])
+		sfi.NewSigner([]byte(*key)).Sign(img)
+		writeImage(outOr(out, args[0], ".img"), img)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: misfit {build|asm|verify|disasm|sign} [-key K] [-o OUT] FILE")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "misfit:", err)
+	os.Exit(1)
+}
+
+func requireArg(args []string, what string) {
+	if len(args) != 1 {
+		fail(fmt.Errorf("expected exactly one %s", what))
+	}
+}
+
+func readFile(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	return data
+}
+
+func readImage(path string) *sfi.Image {
+	img, err := sfi.DecodeSigned(readFile(path))
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return img
+}
+
+func writeImage(path string, img *sfi.Image) {
+	if err := os.WriteFile(path, img.EncodeSigned(), 0o644); err != nil {
+		fail(err)
+	}
+}
+
+// outOr picks the -o value or derives one from the input name.
+func outOr(out *string, in, ext string) string {
+	if *out != "" {
+		return *out
+	}
+	base := in
+	for i := len(in) - 1; i >= 0; i-- {
+		if in[i] == '.' {
+			base = in[:i]
+			break
+		}
+		if in[i] == '/' {
+			break
+		}
+	}
+	return base + ext
+}

@@ -1,0 +1,186 @@
+// Command vinobench regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated kernel and prints measured-vs-paper
+// values.
+//
+// Usage:
+//
+//	vinobench -all
+//	vinobench -table 3        # Tables 3..7
+//	vinobench -sweep abort    # the §4.5 abort-cost model
+//	vinobench -sweep readahead
+//	vinobench -sweep eviction
+//	vinobench -ablation lock  # Figures 4/5 policy-encapsulation cost
+//	vinobench -ablation sfidensity
+//	vinobench -check          # semantic cross-checks (SFI-rewrite equivalence)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vino/internal/harness"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	table := flag.Int("table", 0, "reproduce one paper table (3-7)")
+	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout")
+	ablation := flag.String("ablation", "", "design-choice ablation: lock | sfidensity | misfitopt | txn")
+	check := flag.Bool("check", false, "run semantic cross-checks")
+	flag.Parse()
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vinobench:", err)
+		os.Exit(1)
+	}
+
+	runTable := func(n int) {
+		ran = true
+		switch n {
+		case 3:
+			t, err := harness.ReadAheadTable()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(t)
+		case 4:
+			t, err := harness.PageEvictionTable()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(t)
+		case 5:
+			t, err := harness.SchedulingTable()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(t)
+		case 6:
+			t, err := harness.EncryptionTable()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(t)
+		case 7:
+			t, err := harness.BuildAbortTable()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(t)
+		default:
+			fail(fmt.Errorf("no such table %d (paper evaluation tables are 3-7)", n))
+		}
+	}
+
+	runSweep := func(name string) {
+		ran = true
+		switch name {
+		case "abort":
+			pts, err := harness.AbortCostSweep(8, 8)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println("Abort-cost model (s4.5): abort = 35us + 10us*L + c*G")
+			fmt.Printf("%6s %6s %14s %12s\n", "locks", "undos", "measured (us)", "model (us)")
+			for _, p := range pts {
+				fmt.Printf("%6d %6d %14.1f %12.1f\n", p.Locks, p.Undos, p.MeasUS, p.ModelUS)
+			}
+			fmt.Println()
+		case "readahead":
+			pts, err := harness.ReadAheadWinSweep(nil)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(harness.FormatRAWinSweep(pts))
+		case "eviction":
+			cb, err := harness.BuildEvictionCostBenefit()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(cb)
+		case "timeout":
+			pts, err := harness.TimeoutSweep(nil)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(harness.FormatTimeoutSweep(pts))
+		default:
+			fail(fmt.Errorf("unknown sweep %q", name))
+		}
+	}
+
+	runAblation := func(name string) {
+		ran = true
+		switch name {
+		case "lock":
+			r, err := harness.LockManagerAblation(2000)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(r)
+		case "txn":
+			r, err := harness.TxnProtectionAblation()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(r)
+		case "misfitopt":
+			pts, err := harness.MisfitOptimizerAblation()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(harness.FormatOptAblation(pts))
+		case "sfidensity":
+			pts, err := harness.SFIDensitySweep()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println("SFI overhead vs memory-access density (s4.4)")
+			fmt.Printf("%10s %12s %12s %8s\n", "mem/iter", "unsafe (us)", "safe (us)", "ratio")
+			for _, p := range pts {
+				fmt.Printf("%10d %12.1f %12.1f %8.2f\n", p.MemOpsPerIteration, p.UnsafeUS, p.SafeUS, p.Ratio)
+			}
+			fmt.Println()
+		default:
+			fail(fmt.Errorf("unknown ablation %q", name))
+		}
+	}
+
+	if *check || *all {
+		ran = true
+		if err := harness.EncryptionCorrectness(); err != nil {
+			fail(err)
+		}
+		fmt.Println("check: SFI-rewritten and unprotected encryption grafts produce identical output — OK")
+		fmt.Println()
+	}
+	if *all {
+		for n := 3; n <= 7; n++ {
+			runTable(n)
+		}
+		runSweep("abort")
+		runSweep("readahead")
+		runSweep("eviction")
+		runSweep("timeout")
+		runAblation("lock")
+		runAblation("sfidensity")
+		runAblation("misfitopt")
+		runAblation("txn")
+		return
+	}
+	if *table != 0 {
+		runTable(*table)
+	}
+	if *sweep != "" {
+		runSweep(*sweep)
+	}
+	if *ablation != "" {
+		runAblation(*ablation)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

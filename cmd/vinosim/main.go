@@ -1,0 +1,354 @@
+// Command vinosim runs narrated scenarios on the simulated VINO kernel,
+// demonstrating each class of graft misbehavior from §2 of the paper and
+// the kernel surviving it.
+//
+// Usage:
+//
+//	vinosim -list
+//	vinosim -scenario hoard
+//	vinosim            # runs every scenario
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vino/internal/graft"
+	"vino/internal/kernel"
+	"vino/internal/lock"
+	"vino/internal/netstk"
+	"vino/internal/resource"
+	"vino/internal/sched"
+	"vino/internal/sfi"
+)
+
+type scenario struct {
+	name  string
+	brief string
+	run   func() error
+}
+
+var scenarios = []scenario{
+	{"spin", "infinite-loop graft (s2.2): preempted, watchdogged, removed", runSpin},
+	{"hoard", "lock(resourceA); while(1) (s2.2): time-out aborts the holder's transaction", runHoard},
+	{"memory", "resource gobbler (s2.2): allocation denied at the graft's limit, state undone", runMemory},
+	{"scribble", "wild pointers (s2.1): SFI contains what would have corrupted the kernel", runScribble},
+	{"forge", "unsigned/tampered code (s2.3): the loader refuses it", runForge},
+	{"dos", "covert denial of service (s2.5): pagedaemon-style caller keeps making progress", runDoS},
+	{"http", "event graft (s3.5): an HTTP server grafted into the kernel", runHTTP},
+}
+
+var showTrace bool
+
+func main() {
+	list := flag.Bool("list", false, "list scenarios")
+	name := flag.String("scenario", "", "run one scenario")
+	flag.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after each scenario")
+	flag.Parse()
+	if *list {
+		for _, s := range scenarios {
+			fmt.Printf("%-10s %s\n", s.name, s.brief)
+		}
+		return
+	}
+	var failed bool
+	for _, s := range scenarios {
+		if *name != "" && s.name != *name {
+			continue
+		}
+		fmt.Printf("=== %s: %s\n", s.name, s.brief)
+		if err := s.run(); err != nil {
+			fmt.Printf("    FAILED: %v\n\n", err)
+			failed = true
+			continue
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func newKernel() *kernel.Kernel {
+	return kernel.New(kernel.Config{TraceDepth: 1024})
+}
+
+// dumpTrace prints the kernel flight recorder when -trace is set.
+func dumpTrace(k *kernel.Kernel) {
+	if showTrace {
+		fmt.Print(k.Trace.Dump())
+	}
+}
+
+func echoPoint(k *kernel.Kernel, name string, watchdog time.Duration) *graft.Point {
+	return k.Grafts.RegisterPoint(&graft.Point{
+		Name:      name,
+		Kind:      graft.Function,
+		Privilege: graft.Local,
+		Default:   func(t *sched.Thread, args []int64) (int64, error) { return -1, nil },
+		Watchdog:  watchdog,
+	})
+}
+
+func runSpin() error {
+	k := newKernel()
+	pt := echoPoint(k, "obj.fn", 80*time.Millisecond)
+	bystander := 0
+	done := false
+	k.SpawnProcess("victim", 100, func(p *kernel.Process) {
+		g, err := p.BuildAndInstall("obj.fn", ".name spinner\n.func main\nmain:\n jmp main\n", graft.InstallOptions{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("    installed a graft that loops forever; invoking it...")
+		res, ierr := pt.Invoke(p.Thread)
+		done = true
+		fmt.Printf("    invoke returned default result %d after %v; abort reason: %v\n", res, k.Clock.Now(), ierr)
+		fmt.Printf("    graft forcibly removed: %v; bystander ran %d times meanwhile\n", g.Removed(), bystander)
+	})
+	k.SpawnProcess("bystander", 101, func(p *kernel.Process) {
+		for !done {
+			bystander++
+			p.Thread.Charge(time.Millisecond)
+			p.Thread.Yield()
+		}
+	})
+	if err := k.Run(); err != nil {
+		return err
+	}
+	dumpTrace(k)
+	if bystander == 0 {
+		return errors.New("bystander starved")
+	}
+	return nil
+}
+
+func runHoard() error {
+	k := newKernel()
+	resourceA := k.Locks.NewLock("resourceA", &lock.Class{Name: "res", Timeout: 30 * time.Millisecond})
+	k.Grafts.RegisterCallable("demo.lock_a", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		ctx.Txn.AcquireLock(resourceA, lock.Exclusive)
+		return 0, nil
+	})
+	pt := echoPoint(k, "obj.fn", 10*time.Second)
+	contenderGot := false
+	k.SpawnProcess("hog", 100, func(p *kernel.Process) {
+		if _, err := p.BuildAndInstall("obj.fn", `
+.name lock-hog
+.import demo.lock_a
+.func main
+main:
+    callk demo.lock_a
+spin:
+    jmp spin
+`, graft.InstallOptions{}); err != nil {
+			panic(err)
+		}
+		fmt.Println("    graft takes resourceA and spins: the paper's lock(resourceA); while(1);")
+		_, ierr := pt.Invoke(p.Thread)
+		fmt.Printf("    holder's transaction aborted at %v: %v\n", k.Clock.Now(), ierr)
+	})
+	k.SpawnProcess("contender", 101, func(p *kernel.Process) {
+		p.Thread.Charge(2 * time.Millisecond)
+		resourceA.Acquire(p.Thread, lock.Exclusive)
+		contenderGot = true
+		fmt.Printf("    contender obtained resourceA at %v\n", k.Clock.Now())
+		_ = resourceA.Release(p.Thread)
+	})
+	if err := k.Run(); err != nil {
+		return err
+	}
+	dumpTrace(k)
+	if !contenderGot {
+		return errors.New("contender starved")
+	}
+	return nil
+}
+
+func runMemory() error {
+	k := newKernel()
+	pt := echoPoint(k, "obj.fn", time.Second)
+	k.SpawnProcess("greedy", 100, func(p *kernel.Process) {
+		g, err := p.BuildAndInstall("obj.fn", `
+.name gobbler
+.import vino.kheap_alloc
+.func main
+main:
+    movi r1, 4096
+loop:
+    callk vino.kheap_alloc
+    jmp loop
+`, graft.InstallOptions{Transfer: map[resource.Kind]int64{resource.KernelHeap: 64 << 10}})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("    graft allocates kernel heap in a loop against a 64 KiB grant...")
+		_, ierr := pt.Invoke(p.Thread)
+		fmt.Printf("    aborted: %v\n", ierr)
+		fmt.Printf("    graft account usage after undo: %d bytes (all allocations rolled back)\n",
+			g.Account.Used(resource.KernelHeap))
+	})
+	return k.Run()
+}
+
+func runScribble() error {
+	src := `
+.name scribbler
+.func main
+main:
+    movi r1, 64
+    movi r2, 0x41
+    movi r3, 512
+loop:
+    stb [r1+0], r2
+    addi r1, r1, 1
+    addi r3, r3, -1
+    jnz r3, loop
+    movi r0, 0
+    ret
+`
+	// First: what an unprotected graft would have done.
+	raw, err := sfi.BuildUnsafe(src)
+	if err != nil {
+		return err
+	}
+	vm, err := sfi.NewVM(raw, sfi.Config{})
+	if err != nil {
+		return err
+	}
+	kmem := vm.KernelMemory()
+	for i := range kmem {
+		kmem[i] = 0xEE
+	}
+	if _, err := vm.Call("main"); err != nil {
+		return err
+	}
+	corrupted := 0
+	for _, b := range kmem {
+		if b != 0xEE {
+			corrupted++
+		}
+	}
+	fmt.Printf("    UNPROTECTED: the graft overwrote %d bytes of kernel memory\n", corrupted)
+
+	// Now through the kernel, SFI-protected.
+	k := newKernel()
+	pt := echoPoint(k, "obj.fn", time.Second)
+	k.SpawnProcess("app", 100, func(p *kernel.Process) {
+		g, err := p.BuildAndInstall("obj.fn", src, graft.InstallOptions{})
+		if err != nil {
+			panic(err)
+		}
+		km := g.VM().KernelMemory()
+		for i := range km {
+			km[i] = 0xEE
+		}
+		if _, err := pt.Invoke(p.Thread); err != nil {
+			panic(err)
+		}
+		bad := 0
+		for _, b := range km {
+			if b != 0xEE {
+				bad++
+			}
+		}
+		fmt.Printf("    SFI-PROTECTED: same graft, %d bytes of kernel memory touched; writes landed in its own segment\n", bad)
+		if bad != 0 {
+			panic("SFI leak")
+		}
+	})
+	return k.Run()
+}
+
+func runForge() error {
+	k := newKernel()
+	echoPoint(k, "obj.fn", time.Second)
+	var result error
+	k.SpawnProcess("forger", 100, func(p *kernel.Process) {
+		forged, _, err := sfi.BuildSafe(".name evil\n.func main\nmain:\n ret", sfi.NewSigner([]byte("attacker-key")))
+		if err != nil {
+			result = err
+			return
+		}
+		_, err = p.Install("obj.fn", forged, graft.InstallOptions{})
+		fmt.Printf("    self-signed image: %v\n", err)
+		genuine, _, err := sfi.BuildSafe(".name patched\n.func main\nmain:\n ret", k.Signer)
+		if err != nil {
+			result = err
+			return
+		}
+		genuine.Code = append(genuine.Code, sfi.Instr{Op: sfi.NOP})
+		_, err = p.Install("obj.fn", genuine, graft.InstallOptions{})
+		fmt.Printf("    signed-then-patched image: %v\n", err)
+	})
+	if err := k.Run(); err != nil {
+		return err
+	}
+	return result
+}
+
+func runDoS() error {
+	k := newKernel()
+	pt := echoPoint(k, "pagedaemon.pick-victim", 40*time.Millisecond)
+	k.SpawnProcess("daemon", 100, func(p *kernel.Process) {
+		if _, err := p.BuildAndInstall("pagedaemon.pick-victim", ".name throttle\n.func main\nmain:\n jmp main\n", graft.InstallOptions{}); err != nil {
+			panic(err)
+		}
+		fmt.Println("    a critical caller invokes a graft that never returns, ten times:")
+		for i := 0; i < 10; i++ {
+			res, _ := pt.Invoke(p.Thread)
+			if res != -1 {
+				panic("no forward progress")
+			}
+		}
+		fmt.Printf("    all ten calls completed with the default policy; elapsed %v\n", k.Clock.Now())
+	})
+	return k.Run()
+}
+
+func runHTTP() error {
+	k := newKernel()
+	n := netstk.New(k)
+	port := n.Listen("tcp", 80)
+	var resp []byte
+	k.SpawnProcess("server", 100, func(p *kernel.Process) {
+		if _, err := p.BuildAndInstall(port.Point().Name, `
+.name http-server
+.import net.read
+.import net.write
+.import net.close
+.data "HTTP/1.0 200 OK\r\n\r\nserved from a kernel graft"
+.func main
+main:
+    mov r6, r1
+    addi r2, r10, 512
+    movi r3, 256
+    callk net.read
+    mov r1, r6
+    mov r2, r10
+    movi r3, 45
+    callk net.write
+    mov r1, r6
+    callk net.close
+    ret
+`, graft.InstallOptions{Transfer: map[resource.Kind]int64{resource.Memory: 4096}}); err != nil {
+			panic(err)
+		}
+		conn, err := n.Connect(k.Sched, "tcp", 80, []byte("GET / HTTP/1.0\r\n\r\n"))
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 20 && !conn.Closed(); i++ {
+			p.Thread.Yield()
+		}
+		resp = conn.Response()
+	})
+	if err := k.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("    response: %q\n", resp)
+	return nil
+}

@@ -1,0 +1,145 @@
+// Pageeviction: the paper's §4.2 scenario — an application with a 2 MB
+// footprint of which a few pages are performance-critical. Under memory
+// pressure the default global policy evicts whatever is least recently
+// used, including the hot pages; a page-eviction graft steers eviction
+// to cold pages instead. The example reports faults on the hot pages
+// with and without the graft.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vino "vino"
+	"vino/internal/graft"
+)
+
+// The graft: the app lists its hot pages in the shared buffer (count at
+// heap+0, vpns after); the kernel publishes eviction candidates at
+// heap+1024 under the page-list lock. If the global victim is hot,
+// return the last cold candidate instead.
+const evictGraft = `
+.name protect-hot-pages
+.func main
+main:
+    mov r5, r1
+    mov r14, r1
+    call is_hot
+    jz r0, keep
+    movi r8, 0
+    addi r6, r10, 1024
+    ld r7, [r6+0]
+    movi r9, -1
+scan:
+    cmplt r1, r8, r7
+    jz r1, done
+    movi r1, 3
+    shl r1, r8, r1
+    add r1, r1, r6
+    ld r5, [r1+8]
+    call is_hot
+    jnz r0, next
+    mov r9, r5
+next:
+    addi r8, r8, 1
+    jmp scan
+done:
+    movi r1, -1
+    cmpeq r1, r9, r1
+    jnz r1, keep
+    mov r0, r9
+    ret
+keep:
+    mov r0, r14
+    ret
+is_hot:
+    ld r2, [r10+0]
+    movi r3, 0
+ih_loop:
+    cmplt r4, r3, r2
+    jz r4, ih_no
+    movi r0, 3
+    shl r0, r3, r0
+    add r0, r0, r10
+    ld r0, [r0+8]
+    cmpeq r0, r0, r5
+    jnz r0, ih_yes
+    addi r3, r3, 1
+    jmp ih_loop
+ih_no:
+    movi r0, 0
+    ret
+ih_yes:
+    movi r0, 1
+    ret
+`
+
+const (
+	frames    = 256 // physical memory: 1 MB
+	footprint = 512 // the app's 2 MB working set, in pages
+	hotCount  = 4   // performance-critical pages
+	rounds    = 6   // pressure rounds
+)
+
+func run(useGraft bool) (hotFaults, totalFaults int64) {
+	k := vino.NewKernel(vino.Config{})
+	v := vino.NewVMM(k, frames)
+	k.SpawnProcess("app", 100, func(p *vino.Process) {
+		vas := v.NewVAS(p.Thread)
+		hot := make([]int64, hotCount)
+		for i := range hot {
+			hot[i] = int64(i)
+		}
+		if useGraft {
+			g, err := p.BuildAndInstall(vas.EvictPoint().Name, evictGraft, graft.InstallOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			heap := g.VM().Heap()
+			poke(heap, 0, int64(len(hot)))
+			for i, h := range hot {
+				poke(heap, 8+8*i, h)
+			}
+		}
+		// The access pattern: every round touches the hot pages, then
+		// sweeps a different third of the cold range (more pages than
+		// fit in memory, forcing eviction).
+		for r := 0; r < rounds; r++ {
+			for _, h := range hot {
+				before := vas.Faults
+				vas.Touch(p.Thread, h)
+				if vas.Faults > before {
+					hotFaults++
+				}
+			}
+			lo := int64(hotCount) + int64(r%3)*footprint/3
+			for i := lo; i < lo+footprint/3; i++ {
+				vas.Touch(p.Thread, i)
+			}
+		}
+		totalFaults = vas.Faults
+	})
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return
+}
+
+func poke(heap []byte, off int, v int64) {
+	for i := 0; i < 8; i++ {
+		heap[off+i] = byte(uint64(v) >> (8 * i))
+	}
+}
+
+func main() {
+	fmt.Printf("physical memory %d pages; app touches %d hot + %d cold pages over %d rounds\n\n",
+		frames, hotCount, footprint, rounds)
+	h0, t0 := run(false)
+	fmt.Printf("default eviction:  %3d hot-page faults (of %d total) — each costs ~18 ms\n", h0, t0)
+	h1, t1 := run(true)
+	fmt.Printf("eviction graft:    %3d hot-page faults (of %d total)\n", h1, t1)
+	saved := float64(h0-h1) * 18.0
+	fmt.Printf("\nthe graft avoided %d hot-page faults, saving ~%.0f ms of stall;\n", h0-h1, saved)
+	fmt.Println("per s4.2.2 it may disagree with the default victim ~57 times per avoided")
+	fmt.Println("fault before the overhead outweighs the benefit.")
+}

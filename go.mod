@@ -1,0 +1,3 @@
+module vino
+
+go 1.22

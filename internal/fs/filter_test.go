@@ -1,0 +1,151 @@
+package fs
+
+import (
+	"testing"
+
+	"vino/internal/graft"
+	"vino/internal/kernel"
+)
+
+// xorFilterSrc is the §4.4 stream graft on the read path: XOR-decrypt
+// each chunk from heap[0:n) into heap[8192:8192+n).
+const xorFilterSrc = `
+.name xor-filter
+.func main
+main:
+    ; r1 = byte count (chunks are 8-aligned reads; handle the tail
+    ; bytewise for correctness on arbitrary lengths)
+    mov r7, r1          ; remaining
+    mov r2, r10         ; src
+    addi r3, r10, 8192  ; dst
+    movi r5, 0x5A
+loop:
+    jz r7, done
+    ldb r6, [r2+0]
+    xor r6, r6, r5
+    stb [r3+0], r6
+    addi r2, r2, 1
+    addi r3, r3, 1
+    addi r7, r7, -1
+    jmp loop
+done:
+    mov r0, r1
+    ret
+`
+
+func TestReadFilterTransformsData(t *testing.T) {
+	k, fsys := newTestFS(64)
+	f := fsys.Create("secret", 4*BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		of, _ := fsys.Open(p.Thread, "secret")
+		// Plain read first.
+		plain := make([]byte, 100)
+		if _, err := of.ReadAt(p.Thread, plain, 50); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.BuildAndInstall(of.FilterPoint().Name, xorFilterSrc, graft.InstallOptions{}); err != nil {
+			t.Fatalf("install filter: %v", err)
+		}
+		filtered := make([]byte, 100)
+		if _, err := of.ReadAt(p.Thread, filtered, 50); err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain {
+			if filtered[i] != plain[i]^0x5A {
+				t.Fatalf("byte %d: got %#x, want %#x ^ 0x5A", i, filtered[i], plain[i])
+			}
+		}
+		_ = f
+	})
+}
+
+func TestReadFilterLargeReadChunks(t *testing.T) {
+	k, fsys := newTestFS(64)
+	fsys.Create("big", 8*BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		of, _ := fsys.Open(p.Thread, "big")
+		plain := make([]byte, 5*BlockSize)
+		if _, err := of.ReadAt(p.Thread, plain, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.BuildAndInstall(of.FilterPoint().Name, xorFilterSrc, graft.InstallOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		filtered := make([]byte, 5*BlockSize)
+		if _, err := of.ReadAt(p.Thread, filtered, 0); err != nil {
+			t.Fatal(err)
+		}
+		// 5 blocks = 20 KB crosses multiple 8 KB filter chunks.
+		for i := range plain {
+			if filtered[i] != plain[i]^0x5A {
+				t.Fatalf("chunked filter wrong at byte %d", i)
+			}
+		}
+		if got := of.FilterPoint().Stats().GraftedCalls; got != 3 {
+			t.Errorf("filter invocations = %d, want 3 chunks", got)
+		}
+	})
+}
+
+func TestReadFilterAbortLeavesPlainData(t *testing.T) {
+	k, fsys := newTestFS(64)
+	fsys.Create("data", 2*BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		of, _ := fsys.Open(p.Thread, "data")
+		plain := make([]byte, 64)
+		if _, err := of.ReadAt(p.Thread, plain, 0); err != nil {
+			t.Fatal(err)
+		}
+		g, err := p.BuildAndInstall(of.FilterPoint().Name, `
+.name broken-filter
+.func main
+main:
+    movi r9, 0
+    div r0, r1, r9
+    ret
+`, graft.InstallOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 64)
+		if _, err := of.ReadAt(p.Thread, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := range plain {
+			if got[i] != plain[i] {
+				t.Fatalf("aborted filter corrupted byte %d", i)
+			}
+		}
+		if !g.Removed() {
+			t.Error("broken filter not removed")
+		}
+	})
+}
+
+func TestReadFilterLyingAboutCountRejected(t *testing.T) {
+	k, fsys := newTestFS(64)
+	fsys.Create("data", BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		of, _ := fsys.Open(p.Thread, "data")
+		g, err := p.BuildAndInstall(of.FilterPoint().Name, `
+.name liar-filter
+.func main
+main:
+    movi r0, 3   ; claims 3 bytes regardless of input
+    ret
+`, graft.InstallOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		if _, err := of.ReadAt(p.Thread, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !g.Removed() {
+			t.Error("lying filter survived validation")
+		}
+		if of.FilterPoint().Stats().ValidationFail != 1 {
+			t.Errorf("validation failures = %d", of.FilterPoint().Stats().ValidationFail)
+		}
+	})
+}

@@ -1,0 +1,260 @@
+package fs
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"vino/internal/graft"
+	"vino/internal/kernel"
+)
+
+func TestCleanPath(t *testing.T) {
+	cases := []struct {
+		in, want string
+		bad      bool
+	}{
+		{"a/b/c", "a/b/c", false},
+		{"/a/b/", "a/b", false},
+		{"a//b", "a/b", false},
+		{"./a/./b", "a/b", false},
+		{"", "", true},
+		{"/", "", true},
+		{"a/../b", "", true},
+	}
+	for _, c := range cases {
+		got, err := CleanPath(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("CleanPath(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("CleanPath(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestMkdirAndCreateAt(t *testing.T) {
+	_, fsys := newTestFS(16)
+	if err := fsys.Mkdir("home", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Mkdir("home/alice", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Mkdir("ghost/sub", 7); err == nil {
+		t.Error("mkdir without parent accepted")
+	}
+	if err := fsys.Mkdir("home", 7); err == nil {
+		t.Error("duplicate mkdir accepted")
+	}
+	if _, err := fsys.CreateAt("home/alice/notes", BlockSize, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.CreateAt("home/alice/notes", BlockSize, 7, false); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	if _, err := fsys.CreateAt("nodir/file", BlockSize, 7, false); err == nil {
+		t.Error("create without parent accepted")
+	}
+	if _, err := fsys.CreateAt("home", BlockSize, 7, false); err == nil {
+		t.Error("create over directory accepted")
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	_, fsys := newTestFS(16)
+	if err := fsys.Mkdir("etc", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Mkdir("etc/init", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.CreateAt("etc/passwd", BlockSize, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.CreateAt("etc/init/rc", BlockSize, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := fsys.ReadDir("etc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(ls)
+	if len(ls) != 2 || ls[0] != "init" || ls[1] != "passwd" {
+		t.Fatalf("ReadDir(etc) = %v", ls)
+	}
+	root, err := fsys.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root) != 1 || root[0] != "etc" {
+		t.Fatalf("ReadDir(/) = %v", root)
+	}
+	if _, err := fsys.ReadDir("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ReadDir(ghost) = %v", err)
+	}
+}
+
+func TestOpenPathWithoutGraft(t *testing.T) {
+	k, fsys := newTestFS(16)
+	if err := fsys.Mkdir("data", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.CreateAt("data/file", BlockSize, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	runProc(t, k, 7, func(p *kernel.Process) {
+		of, err := fsys.OpenPath(p.Thread, "/data//file")
+		if err != nil {
+			t.Fatalf("OpenPath: %v", err)
+		}
+		if of.File().Name != "data/file" {
+			t.Errorf("opened %q", of.File().Name)
+		}
+	})
+}
+
+// chrootGraftSrc prefixes every lookup with "jail/": copy "jail/" then
+// the original path into the output buffer, returning the new length.
+const chrootGraftSrc = `
+.name chroot
+.data "jail/"
+.func main
+main:
+    ; r1 = input length
+    ; copy the 5-byte prefix from our data section
+    mov r2, r10          ; src: "jail/"
+    addi r3, r10, 1024   ; dst: ResolveOut
+    movi r4, 5
+pfx:
+    ldb r5, [r2+0]
+    stb [r3+0], r5
+    addi r2, r2, 1
+    addi r3, r3, 1
+    addi r4, r4, -1
+    jnz r4, pfx
+    ; copy the input path
+    addi r2, r10, 512    ; ResolveIn
+    mov r4, r1
+cp:
+    jz r4, done
+    ldb r5, [r2+0]
+    stb [r3+0], r5
+    addi r2, r2, 1
+    addi r3, r3, 1
+    addi r4, r4, -1
+    jmp cp
+done:
+    addi r0, r1, 5
+    ret
+`
+
+// TestResolveGraftConfinesUser: the user's own lookups are translated
+// into the jail; another user's are untouched.
+func TestResolveGraftConfinesUser(t *testing.T) {
+	k, fsys := newTestFS(64)
+	if err := fsys.Mkdir("jail", graft.Root); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Create("secret", BlockSize, 9, true)      // outside the jail
+	fsys.Create("jail/secret", BlockSize, 9, true) // the jailed view
+	k.SpawnProcess("jailed", 7, func(p *kernel.Process) {
+		if _, err := p.BuildAndInstall(fsys.ResolvePoint(p.Thread).Name, chrootGraftSrc, graft.InstallOptions{}); err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		of, err := fsys.OpenPath(p.Thread, "secret")
+		if err != nil {
+			t.Errorf("jailed open: %v", err)
+			return
+		}
+		if of.File().Name != "jail/secret" {
+			t.Errorf("jailed user opened %q, want jail/secret", of.File().Name)
+		}
+	})
+	k.SpawnProcess("free", 8, func(p *kernel.Process) {
+		of, err := fsys.OpenPath(p.Thread, "secret")
+		if err != nil {
+			t.Errorf("free open: %v", err)
+			return
+		}
+		if of.File().Name != "secret" {
+			t.Errorf("free user opened %q, want secret (rule 8: grafts affect only consenting users)", of.File().Name)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResolveGraftAbortFallsBackToIdentity: a trapping translator is
+// removed and the original path used.
+func TestResolveGraftAbortFallsBackToIdentity(t *testing.T) {
+	k, fsys := newTestFS(16)
+	fsys.Create("plain", BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		g, err := p.BuildAndInstall(fsys.ResolvePoint(p.Thread).Name, `
+.name bad-resolver
+.func main
+main:
+    movi r9, 0
+    div r0, r0, r9
+    ret
+`, graft.InstallOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		of, err := fsys.OpenPath(p.Thread, "plain")
+		if err != nil {
+			t.Fatalf("open after resolver abort: %v", err)
+		}
+		if of.File().Name != "plain" {
+			t.Errorf("opened %q", of.File().Name)
+		}
+		if !g.Removed() {
+			t.Error("trapping resolver survived")
+		}
+	})
+}
+
+// TestResolveGraftLyingLengthRejected: a translator claiming an absurd
+// length is caught by validation and the identity result used.
+func TestResolveGraftLyingLengthRejected(t *testing.T) {
+	k, fsys := newTestFS(16)
+	fsys.Create("plain", BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		g, err := p.BuildAndInstall(fsys.ResolvePoint(p.Thread).Name, `
+.name liar-resolver
+.func main
+main:
+    movi r0, 5000
+    ret
+`, graft.InstallOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		of, err := fsys.OpenPath(p.Thread, "plain")
+		if err != nil || of.File().Name != "plain" {
+			t.Fatalf("open = %v, %v", of, err)
+		}
+		if !g.Removed() {
+			t.Error("lying resolver survived")
+		}
+	})
+}
+
+// TestAccessControlPointRestricted: the taxonomy's access-control
+// example exists in the namespace but can never be grafted (rule 5).
+func TestAccessControlPointRestricted(t *testing.T) {
+	k, fsys := newTestFS(16)
+	pt := fsys.RegisterAccessControlPoint()
+	runProc(t, k, graft.Root, func(p *kernel.Process) {
+		_, err := p.BuildAndInstall(pt.Name, ".name takeover\n.func main\nmain:\n movi r0, 1\n ret", graft.InstallOptions{})
+		if !errors.Is(err, graft.ErrRestrictedPoint) {
+			t.Errorf("install on access-control point = %v", err)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package fs
+
+import (
+	"fmt"
+
+	"vino/internal/sched"
+	"vino/internal/vmm"
+)
+
+// filePager backs a VM mapping with an open file: page faults read the
+// corresponding file block through the buffer cache, so a cached block
+// faults in for CPU cost only while a cold one pays the disk. This is
+// the paper's Mach-style memory object ("read a file from disk") wired
+// to the simulated file system.
+type filePager struct {
+	of *OpenFile
+}
+
+// Pager returns a vmm.Pager that materialises pages from this file,
+// page i from block i. Use with VAS.Map:
+//
+//	vas.Map(baseVPN, of.File().Blocks(), of.Pager())
+func (of *OpenFile) Pager() vmm.Pager { return filePager{of: of} }
+
+// FaultIn implements vmm.Pager.
+func (p filePager) FaultIn(t *sched.Thread, rel int64) error {
+	if p.of.closed {
+		return ErrClosed
+	}
+	if rel < 0 || rel >= p.of.file.Blocks() {
+		return fmt.Errorf("fs: fault beyond mapped file %q: page %d of %d", p.of.file.Name, rel, p.of.file.Blocks())
+	}
+	p.of.readBlock(t, rel)
+	return nil
+}
+
+// Name implements vmm.Pager.
+func (p filePager) Name() string { return "file:" + p.of.file.Name }

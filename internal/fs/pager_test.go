@@ -1,0 +1,170 @@
+package fs
+
+import (
+	"testing"
+	"time"
+
+	"vino/internal/kernel"
+	"vino/internal/vmm"
+)
+
+func TestFileBackedMapping(t *testing.T) {
+	k, fsys := newTestFS(256)
+	v := vmm.New(k, 64)
+	fsys.Create("db", 16*BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		of, err := fsys.Open(p.Thread, "db")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vas := v.NewVAS(p.Thread)
+		if err := vas.Map(100, of.File().Blocks(), of.Pager()); err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		// Cold fault pays the disk.
+		before := k.Clock.Now()
+		vas.Touch(p.Thread, 100)
+		coldCost := k.Clock.Now() - before
+		if coldCost < 10*time.Millisecond {
+			t.Errorf("cold file fault cost %v, want disk-scale", coldCost)
+		}
+		// A block already in the buffer cache faults in for ~nothing:
+		// the fs and the VM share the cache.
+		buf := make([]byte, 10)
+		if _, err := of.ReadAt(p.Thread, buf, 5*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+		before = k.Clock.Now()
+		vas.Touch(p.Thread, 105)
+		warmCost := k.Clock.Now() - before
+		if warmCost >= coldCost/10 {
+			t.Errorf("warm fault %v not much cheaper than cold %v", warmCost, coldCost)
+		}
+		// Unmapped pages keep anonymous backing at the flat latency.
+		before = k.Clock.Now()
+		vas.Touch(p.Thread, 5000)
+		if got := k.Clock.Now() - before; got != v.FaultLatency {
+			t.Errorf("anonymous fault cost %v, want %v", got, v.FaultLatency)
+		}
+	})
+}
+
+func TestFileMappingFaultBeyondEOF(t *testing.T) {
+	k, fsys := newTestFS(64)
+	v := vmm.New(k, 64)
+	fsys.Create("small", 2*BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		of, _ := fsys.Open(p.Thread, "small")
+		// A mapping larger than the file: faults past EOF fail cleanly.
+		if err := vas2Map(v, p, of, 0, 8); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// vas2Map maps and probes a too-large file mapping.
+func vas2Map(v *vmm.VMM, p *kernel.Process, of *OpenFile, base, count int64) error {
+	vas := v.NewVAS(p.Thread)
+	if err := vas.Map(base, count, of.Pager()); err != nil {
+		return err
+	}
+	if err := vas.TouchErr(p.Thread, base); err != nil {
+		return err
+	}
+	if err := vas.TouchErr(p.Thread, base+5); err == nil {
+		return errBeyondEOFAccepted
+	}
+	if vas.Page(base + 5).Resident() {
+		return errBeyondEOFResident
+	}
+	free := v.FreeFrames()
+	_ = free
+	return nil
+}
+
+var (
+	errBeyondEOFAccepted = fsError("fault beyond EOF accepted")
+	errBeyondEOFResident = fsError("failed fault left the page resident")
+)
+
+type fsError string
+
+func (e fsError) Error() string { return string(e) }
+
+func TestOverlappingMappingsRejected(t *testing.T) {
+	k, fsys := newTestFS(64)
+	v := vmm.New(k, 64)
+	fsys.Create("a", 4*BlockSize, 7, false)
+	fsys.Create("b", 4*BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		ofA, _ := fsys.Open(p.Thread, "a")
+		ofB, _ := fsys.Open(p.Thread, "b")
+		vas := v.NewVAS(p.Thread)
+		if err := vas.Map(10, 4, ofA.Pager()); err != nil {
+			t.Fatal(err)
+		}
+		if err := vas.Map(12, 4, ofB.Pager()); err == nil {
+			t.Error("overlapping mapping accepted")
+		}
+		if err := vas.Map(14, 4, ofB.Pager()); err != nil {
+			t.Errorf("adjacent mapping rejected: %v", err)
+		}
+		if vas.MappingCount() != 2 {
+			t.Errorf("mappings = %d", vas.MappingCount())
+		}
+	})
+}
+
+func TestUnmapReleasesFrames(t *testing.T) {
+	k, fsys := newTestFS(64)
+	v := vmm.New(k, 64)
+	fsys.Create("a", 8*BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		of, _ := fsys.Open(p.Thread, "a")
+		vas := v.NewVAS(p.Thread)
+		if err := vas.Map(0, 8, of.Pager()); err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 8; i++ {
+			vas.Touch(p.Thread, i)
+		}
+		if v.FreeFrames() != 64-8 {
+			t.Fatalf("free = %d", v.FreeFrames())
+		}
+		vas.Unmap(0)
+		if v.FreeFrames() != 64 {
+			t.Errorf("free = %d after unmap, want 64", v.FreeFrames())
+		}
+		if vas.MappingCount() != 0 {
+			t.Error("mapping survived unmap")
+		}
+	})
+}
+
+// TestFileMappingUnderEvictionPressure: file-backed pages evict and
+// re-fault through the cache like any others.
+func TestFileMappingUnderEvictionPressure(t *testing.T) {
+	k, fsys := newTestFS(512)
+	v := vmm.New(k, 8)
+	fsys.Create("big", 32*BlockSize, 7, false)
+	runProc(t, k, 7, func(p *kernel.Process) {
+		of, _ := fsys.Open(p.Thread, "big")
+		vas := v.NewVAS(p.Thread)
+		if err := vas.Map(0, 32, of.Pager()); err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 32; i++ {
+			vas.Touch(p.Thread, i)
+		}
+		if vas.Resident() > 8 {
+			t.Fatalf("resident = %d > frames", vas.Resident())
+		}
+		// Re-fault an evicted page: it comes from the (large) buffer
+		// cache, not the disk.
+		d := fsys.Disk().Reads
+		vas.Touch(p.Thread, 0)
+		if fsys.Disk().Reads != d {
+			t.Error("re-fault of cached block went to disk")
+		}
+	})
+}

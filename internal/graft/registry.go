@@ -1,0 +1,496 @@
+package graft
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vino/internal/resource"
+	"vino/internal/sched"
+	"vino/internal/sfi"
+	"vino/internal/simclock"
+	"vino/internal/trace"
+	"vino/internal/txn"
+)
+
+// DefaultWatchdog bounds a graft invocation's virtual runtime when the
+// point does not specify its own. The system clock tick is 10 ms; a
+// watchdog of 100 ms is generous for fine-grained grafts while still
+// guaranteeing the pageout daemon (or any other caller) regains control.
+const DefaultWatchdog = 100 * time.Millisecond
+
+// Stats counts registry-wide events.
+type Stats struct {
+	Installs       int64
+	InstallRejects int64
+	Removals       int64
+	WatchdogFires  int64
+	SignatureFails int64
+	LinkFails      int64
+	PrivilegeFails int64
+}
+
+// Registry is the kernel's graft machinery: namespace, loader/linker,
+// graft-callable list and invocation wrappers. One per kernel.
+type Registry struct {
+	clock *simclock.Clock
+	txns  *txn.Manager
+	// signer verifies toolchain signatures (the loader side of §3.3's
+	// code-signing scheme).
+	signer *sfi.Signer
+	// UnsafeAllowed lets Root install unrewritten, unsigned images. It
+	// exists solely for the measurement harness's "unsafe path" (Table
+	// 2) and the misbehavior demonstrations; production kernels leave it
+	// off.
+	UnsafeAllowed bool
+	// SegSize is the sandbox size given to each graft.
+	SegSize int
+	// KernelMem is the simulated kernel memory placed below each graft's
+	// segment (scribble target for unsafe experiments).
+	KernelMem int
+	// Costs overrides the VM cycle model (nil = sfi.DefaultCosts).
+	Costs *sfi.Costs
+
+	// Trace, when set, receives graft lifecycle events (the kernel's
+	// flight recorder).
+	Trace *trace.Buffer
+
+	callables map[string]Callable
+	points    map[string]*Point
+	installed map[*Installed]bool
+	stats     Stats
+}
+
+// emit records a trace event at the current virtual time.
+func (r *Registry) emit(kind trace.Kind, subject, detail string) {
+	r.Trace.Emit(r.clock.Now(), kind, subject, detail)
+}
+
+// NewRegistry creates a graft registry. The signer's key is the kernel's
+// trust root for graft images.
+func NewRegistry(clock *simclock.Clock, txns *txn.Manager, signer *sfi.Signer) *Registry {
+	return &Registry{
+		clock:     clock,
+		txns:      txns,
+		signer:    signer,
+		SegSize:   64 << 10,
+		KernelMem: 16 << 10,
+		callables: make(map[string]Callable),
+		points:    make(map[string]*Point),
+		installed: make(map[*Installed]bool),
+	}
+}
+
+// Stats returns a copy of the registry counters.
+func (r *Registry) Stats() Stats { return r.stats }
+
+// RegisterCallable puts a kernel function on the graft-callable list.
+// "VINO kernel developers maintain a list of graft-callable functions;
+// only functions on this list may be called from grafts" (§3.3).
+// Functions that return private data or mutate unrecoverable state must
+// simply never be registered — that is the static side of rules 4 and 5.
+func (r *Registry) RegisterCallable(name string, fn Callable) {
+	if _, dup := r.callables[name]; dup {
+		panic(fmt.Sprintf("graft: duplicate callable %q", name))
+	}
+	r.callables[name] = fn
+}
+
+// Callables returns the sorted graft-callable function names.
+func (r *Registry) Callables() []string {
+	out := make([]string, 0, len(r.callables))
+	for n := range r.callables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterPoint adds a graft point to the namespace. Subsystems call it
+// for every decision they expose; "the list of functions that can be
+// grafted on each class is specified by the class designer" (§3.4).
+func (r *Registry) RegisterPoint(p *Point) *Point {
+	if p.Name == "" {
+		panic("graft: point without a name")
+	}
+	if _, dup := r.points[p.Name]; dup {
+		panic(fmt.Sprintf("graft: duplicate point %q", p.Name))
+	}
+	if p.Kind == Function && p.Default == nil {
+		panic(fmt.Sprintf("graft: function point %q without default", p.Name))
+	}
+	p.reg = r
+	r.points[p.Name] = p
+	return p
+}
+
+// UnregisterPoint removes a point (e.g. when its object — an open file —
+// is destroyed). Installed grafts on it are removed.
+func (r *Registry) UnregisterPoint(name string) {
+	p := r.points[name]
+	if p == nil {
+		return
+	}
+	if p.grafted != nil {
+		r.remove(p.grafted)
+	}
+	for _, h := range append([]*Installed(nil), p.handlers...) {
+		r.remove(h)
+	}
+	delete(r.points, name)
+}
+
+// Lookup finds a graft point by name: the handle-obtaining step of
+// Figure 1.
+func (r *Registry) Lookup(name string) (*Point, error) {
+	p, ok := r.points[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPoint, name)
+	}
+	return p, nil
+}
+
+// Points returns the sorted names in the graft namespace.
+func (r *Registry) Points() []string {
+	out := make([]string, 0, len(r.points))
+	for n := range r.points {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InstallOptions controls resource binding and event ordering.
+type InstallOptions struct {
+	// Entry is the image entry point to invoke; defaults to "main".
+	Entry string
+	// BillInstaller directs the graft's allocations to the installing
+	// thread's account instead of the graft's own (zero-limit) account.
+	BillInstaller bool
+	// Transfer moves limits from the installer's account into the
+	// graft's at install time.
+	Transfer map[resource.Kind]int64
+	// Order positions an event handler (lower runs first).
+	Order int
+	// AllowUnsafe requests installation of an unrewritten image; only
+	// honoured for Root and only when the registry's UnsafeAllowed is
+	// set. Measurement harness use only.
+	AllowUnsafe bool
+}
+
+// Install loads an image at the named graft point on behalf of the
+// calling thread. This is the dynamic linker and loader of §3.3–3.5: it
+// verifies the signature and SFI invariants, enforces point privilege,
+// resolves imports against the graft-callable list, builds the sandbox,
+// and binds the resource account.
+func (r *Registry) Install(t *sched.Thread, pointName string, img *sfi.Image, opts InstallOptions) (*Installed, error) {
+	p, err := r.Lookup(pointName)
+	if err != nil {
+		r.stats.InstallRejects++
+		return nil, err
+	}
+	uid := ThreadUID(t)
+	if p.Privilege == Restricted {
+		r.stats.InstallRejects++
+		return nil, fmt.Errorf("%w: %q", ErrRestrictedPoint, pointName)
+	}
+	if p.Privilege == Global && uid != Root {
+		r.stats.PrivilegeFails++
+		r.stats.InstallRejects++
+		return nil, fmt.Errorf("%w: %q (uid %d)", ErrPrivilege, pointName, uid)
+	}
+	unsafeOK := opts.AllowUnsafe && r.UnsafeAllowed && uid == Root
+	if !unsafeOK {
+		if !img.Safe {
+			r.stats.InstallRejects++
+			return nil, fmt.Errorf("%w: image %q", ErrNotSafe, img.Name)
+		}
+		if !r.signer.Verify(img) {
+			r.stats.SignatureFails++
+			r.stats.InstallRejects++
+			return nil, fmt.Errorf("%w: image %q", ErrUnsigned, img.Name)
+		}
+	}
+	if err := sfi.Verify(img); err != nil {
+		r.stats.InstallRejects++
+		return nil, fmt.Errorf("graft: image %q rejected by verifier: %w", img.Name, err)
+	}
+	entry := opts.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	if _, err := img.Entry(entry); err != nil {
+		r.stats.InstallRejects++
+		return nil, err
+	}
+	if p.Kind == Function && p.grafted != nil {
+		r.stats.InstallRejects++
+		return nil, fmt.Errorf("%w: %q", ErrOccupied, pointName)
+	}
+
+	g := &Installed{
+		Image:   img,
+		Entry:   entry,
+		Owner:   uid,
+		Account: resource.NewAccount(fmt.Sprintf("graft:%s@%s", img.Name, pointName)),
+		Point:   p,
+		Order:   opts.Order,
+	}
+	// Resource binding (§3.2): zero limits unless the installer
+	// transfers or directs billing.
+	installerAcct := ThreadAccount(t)
+	if opts.BillInstaller {
+		if installerAcct == nil {
+			r.stats.InstallRejects++
+			return nil, fmt.Errorf("graft: BillInstaller with no installer account")
+		}
+		if err := g.Account.BillTo(installerAcct); err != nil {
+			r.stats.InstallRejects++
+			return nil, err
+		}
+	}
+	for kind, n := range opts.Transfer {
+		if installerAcct == nil {
+			r.stats.InstallRejects++
+			return nil, fmt.Errorf("graft: Transfer with no installer account")
+		}
+		if err := installerAcct.Transfer(g.Account, kind, n); err != nil {
+			r.stats.InstallRejects++
+			return nil, err
+		}
+	}
+
+	// Dynamic linking: every imported symbol must be on the
+	// graft-callable list (rules 4 and 7 checked at link time).
+	kernelFns := make(map[string]sfi.KernelFunc, len(img.Symbols))
+	for _, sym := range img.Symbols {
+		fn, ok := r.callables[sym]
+		if !ok {
+			r.stats.LinkFails++
+			r.stats.InstallRejects++
+			return nil, fmt.Errorf("%w: %q", ErrNotCallable, sym)
+		}
+		kernelFns[sym] = func(vm *sfi.VM, args [5]int64) (int64, error) {
+			ctx := &Ctx{Thread: g.curThread, Txn: r.txns.Current(g.curThread), Graft: g, VM: vm}
+			res, err := fn(ctx, args)
+			if err != nil {
+				return 0, fmt.Errorf("%s: %w", sym, err)
+			}
+			return res, nil
+		}
+	}
+	vm, err := sfi.NewVM(img, sfi.Config{
+		SegSize:   r.SegSize,
+		KernelMem: r.KernelMem,
+		Costs:     r.Costs,
+		Kernel:    kernelFns,
+		Hook: func(cycles int64) {
+			if g.curThread != nil {
+				g.curThread.ChargeCycles(cycles)
+			}
+		},
+	})
+	if err != nil {
+		r.stats.InstallRejects++
+		return nil, err
+	}
+	g.vm = vm
+
+	switch p.Kind {
+	case Function:
+		p.grafted = g
+	case Event:
+		p.handlers = append(p.handlers, g)
+		sort.SliceStable(p.handlers, func(i, j int) bool { return p.handlers[i].Order < p.handlers[j].Order })
+	}
+	r.installed[g] = true
+	r.stats.Installs++
+	r.emit(trace.GraftInstall, pointName, fmt.Sprintf("image %q by uid %d", img.Name, uid))
+	return g, nil
+}
+
+// Remove detaches a graft voluntarily (application teardown).
+func (r *Registry) Remove(g *Installed) { r.remove(g) }
+
+func (r *Registry) remove(g *Installed) {
+	if g.removed {
+		return
+	}
+	g.removed = true
+	delete(r.installed, g)
+	p := g.Point
+	if p.grafted == g {
+		p.grafted = nil
+	}
+	for i, h := range p.handlers {
+		if h == g {
+			p.handlers = append(p.handlers[:i], p.handlers[i+1:]...)
+			break
+		}
+	}
+	p.stats.Removals++
+	r.stats.Removals++
+	r.emit(trace.GraftRemove, p.Name, fmt.Sprintf("image %q", g.Image.Name))
+}
+
+// Invoke runs a function graft point: the grafted implementation inside
+// its transaction wrapper if present, the default otherwise. On abort
+// the graft is forcibly removed and the default runs — "the kernel must
+// be able to make progress even with a faulty graft in its path" (rule
+// 9). The error return reports the abort reason for diagnostics even
+// though a result is always produced.
+func (p *Point) Invoke(t *sched.Thread, args ...int64) (int64, error) {
+	p.stats.Invocations++
+	if c := p.IndirectionCost; c > 0 {
+		t.Charge(c)
+	}
+	g := p.grafted
+	if g == nil {
+		p.stats.DefaultCalls++
+		return p.Default(t, args)
+	}
+	res, err := p.reg.invokeGraft(t, g, args)
+	if err != nil {
+		// Forcible removal: new invocations use normal kernel code.
+		if !p.KeepOnAbort {
+			p.reg.remove(g)
+		}
+		p.stats.DefaultCalls++
+		dres, derr := p.Default(t, args)
+		if derr != nil {
+			return dres, derr
+		}
+		return dres, err
+	}
+	return res, nil
+}
+
+// invokeGraft is the wrapper stub of §3.1: begin transaction, swap
+// resource accounts, arm the watchdog, run the sandboxed code, validate
+// the result, commit.
+func (r *Registry) invokeGraft(t *sched.Thread, g *Installed, args []int64) (int64, error) {
+	p := g.Point
+	p.stats.GraftedCalls++
+	if p.NoTxn {
+		return r.invokeGraftUnprotected(t, g, args)
+	}
+	var result int64
+	err := r.txns.Run(t, func(tx *txn.Txn) error {
+		// The thread's limits are replaced by the graft's (§3.2).
+		prevAcct := ThreadAccount(t)
+		t.SetLocal(localAccount, g.Account)
+		defer t.SetLocal(localAccount, prevAcct)
+
+		// Forward-progress watchdog (§2.5).
+		wd := p.Watchdog
+		if wd <= 0 {
+			wd = DefaultWatchdog
+		}
+		running := true
+		ev := r.clock.After(wd, func() {
+			if running {
+				r.stats.WatchdogFires++
+				r.emit(trace.WatchdogFire, p.Name, wd.String())
+				t.RequestAbort(fmt.Errorf("%w: %s after %v", ErrWatchdog, p.Name, wd))
+			}
+		})
+		defer func() {
+			running = false
+			r.clock.Cancel(ev)
+		}()
+
+		prevThread := g.curThread
+		g.curThread = t
+		defer func() { g.curThread = prevThread }()
+
+		if p.PreGraft != nil {
+			if err := p.PreGraft(t, tx, g, args); err != nil {
+				return err
+			}
+		}
+		res, err := g.vm.Call(g.Entry, args...)
+		if err != nil {
+			return err
+		}
+		if p.Validate != nil {
+			res, err = p.Validate(t, args, res)
+			if err != nil {
+				p.stats.ValidationFail++
+				return fmt.Errorf("%w: %v", ErrBadResult, err)
+			}
+		}
+		result = res
+		return nil
+	})
+	if err != nil {
+		p.stats.Aborts++
+		r.emit(trace.GraftAbort, p.Name, err.Error())
+		return 0, err
+	}
+	p.stats.Commits++
+	r.emit(trace.GraftCommit, p.Name, "")
+	return result, nil
+}
+
+// invokeGraftUnprotected is the ablation counterfactual: the graft runs
+// with no transaction around it. Accessor functions see no current
+// transaction and push no undos; a failure reports an error but leaves
+// every half-finished state change in place. It exists so the harness
+// can demonstrate what the paper's mechanism prevents.
+func (r *Registry) invokeGraftUnprotected(t *sched.Thread, g *Installed, args []int64) (res int64, err error) {
+	p := g.Point
+	defer func() {
+		if rec := recover(); rec != nil {
+			if sched.IsKill(rec) {
+				panic(rec)
+			}
+			if a, ok := rec.(*sched.Abort); ok {
+				err = a.Reason
+			} else {
+				err = fmt.Errorf("graft panic: %v", rec)
+			}
+			t.ClearAbort()
+		}
+		if err != nil {
+			p.stats.Aborts++
+			r.emit(trace.GraftAbort, p.Name, "UNPROTECTED: "+err.Error())
+		} else {
+			p.stats.Commits++
+		}
+	}()
+	prevThread := g.curThread
+	g.curThread = t
+	defer func() { g.curThread = prevThread }()
+	res, err = g.vm.Call(g.Entry, args...)
+	if err == nil && p.Validate != nil {
+		res, err = p.Validate(t, args, res)
+	}
+	return res, err
+}
+
+// Trigger fires an event point: for each installed handler, in order, a
+// worker thread is spawned that runs the handler inside a transaction
+// (§3.5). Misbehaving handlers are removed exactly like function grafts.
+// Trigger returns immediately; the workers run under the scheduler.
+func (p *Point) Trigger(s *sched.Scheduler, args ...int64) int {
+	if p.Kind != Event {
+		panic(fmt.Sprintf("graft: Trigger on function point %q", p.Name))
+	}
+	p.stats.Invocations++
+	n := 0
+	for _, g := range p.Handlers() {
+		g := g
+		n++
+		s.Spawn(fmt.Sprintf("event:%s", p.Name), func(t *sched.Thread) {
+			// The worker runs with the graft owner's identity.
+			SetThreadIdentity(t, g.Owner, g.Account)
+			if g.removed {
+				return
+			}
+			if _, err := p.reg.invokeGraft(t, g, args); err != nil {
+				p.reg.remove(g)
+			}
+		})
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+package harness
+
+import "testing"
+
+// TestReadAheadWinCrossover checks the §4.1.1 claim: with little compute
+// between reads the graft loses (its overhead is pure cost); with ample
+// compute the prefetch overlap wins. The crossover sits near the safe
+// path cost.
+func TestReadAheadWinCrossover(t *testing.T) {
+	pts, err := ReadAheadWinSweep([]float64{25, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatRAWinSweep(pts))
+	low, high := pts[0], pts[1]
+	if low.GainUS > 30 {
+		t.Errorf("at %0.f us compute the graft should not win big: gain %.1f", low.ComputeUS, low.GainUS)
+	}
+	if high.GainUS < 100 {
+		t.Errorf("at %0.f us compute the graft should win clearly: gain %.1f", high.ComputeUS, high.GainUS)
+	}
+	if high.GainUS <= low.GainUS {
+		t.Errorf("gain not increasing with compute: %.1f -> %.1f", low.GainUS, high.GainUS)
+	}
+}
+
+// TestEvictionCostBenefit checks the §4.2.2 arithmetic: tens of
+// disagreements per avoided fault, and agreement cheaper than overrule.
+func TestEvictionCostBenefit(t *testing.T) {
+	cb, err := BuildEvictionCostBenefit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + cb.String())
+	if cb.BreakEven < 10 || cb.BreakEven > 200 {
+		t.Errorf("break-even = %.0f disagreements/I/O, paper has 57", cb.BreakEven)
+	}
+	if cb.AgreeCostUS >= cb.OverruleCostUS+float64(39) {
+		t.Errorf("agreement path (%.0f us) should be cheaper than overrule total (%.0f + base)", cb.AgreeCostUS, cb.OverruleCostUS)
+	}
+	if cb.AgreeCostUS < 100 {
+		t.Errorf("agreement path %.0f us implausibly cheap (still pays txn + victim check)", cb.AgreeCostUS)
+	}
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"vino/internal/graft"
+	"vino/internal/kernel"
+	"vino/internal/sched"
+)
+
+// Paper values for Table 6 (Encryption Graft Overhead), elapsed us.
+var paperTable6 = map[string]float64{
+	PathBase: 105, PathVINO: 105, PathNull: 193, PathUnsafe: 359, PathSafe: 546, PathAbort: 550,
+}
+
+// bcopyCycles is the modelled in-kernel copy of an 8 KB buffer: the
+// paper notes bcopy "is implemented using a hardware copy instruction
+// that has a cost of only one cycle per word copied" — 1024 words plus
+// call/setup overhead. (The paper's measured 105 us additionally
+// includes L1 miss time, which it reports separately; we model the
+// idealised copy and let the instruction cost model provide the rest.)
+const bcopyCycles = 1100
+
+// encryptGraftBody is the §4.4 stream graft: XOR-encrypt 8 KB from the
+// input buffer (heap offset 0) into the output buffer (offset 8192). It
+// is almost entirely loads and stores — the worst case for SFI.
+const encryptGraftBody = `
+.name encrypt
+.func main
+main:
+    mov r2, r10
+    addi r3, r10, 8192
+    movi r4, 1024
+    movi r5, 0x5A5A5A5A
+loop:
+    ld r6, [r2+0]
+    xor r6, r6, r5
+    st [r3+0], r6
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r4, r4, -1
+    jnz r4, loop
+    movi r0, 0
+    ret
+`
+
+// encryptGraftAbortBody encrypts, then traps.
+const encryptGraftAbortBody = `
+.name encrypt-abort
+.func main
+main:
+    mov r2, r10
+    addi r3, r10, 8192
+    movi r4, 1024
+    movi r5, 0x5A5A5A5A
+loop:
+    ld r6, [r2+0]
+    xor r6, r6, r5
+    st [r3+0], r6
+    addi r2, r2, 8
+    addi r3, r3, 8
+    addi r4, r4, -1
+    jnz r4, loop
+` + trapTail
+
+// EncryptionTable reproduces Table 6: the stream graft encrypting an
+// 8 KB buffer on its way to user level. The base path is the in-kernel
+// bcopy the graft replaces.
+func EncryptionTable() (*Table, error) {
+	tbl := &Table{Number: 6, Title: "Encryption Graft Overhead (us per 8 KB buffer)"}
+	variants := []struct {
+		path  string
+		graft string
+		safe  bool
+	}{
+		{PathBase, "", false},
+		{PathVINO, "", false},
+		{PathNull, nullGraftSrc, true},
+		{PathUnsafe, encryptGraftBody, false},
+		{PathSafe, encryptGraftBody, true},
+		{PathAbort, encryptGraftAbortBody, true},
+	}
+	for _, v := range variants {
+		us, err := measureEncryptionPath(v.path, v.graft, v.safe)
+		if err != nil {
+			return nil, fmt.Errorf("table 6 %s: %w", v.path, err)
+		}
+		tbl.Rows = append(tbl.Rows, Row{Path: v.path, ElapsedUS: us, PaperUS: paperTable6[v.path]})
+	}
+	tbl.Notes = append(tbl.Notes,
+		"base models the 1-cycle-per-word hardware copy the paper describes; its measured 105 us includes cache effects our model reports within the graft paths instead",
+		"safe/unsafe ratio is the headline SFI worst case: every word costs two sandboxed accesses")
+	return tbl, nil
+}
+
+func measureEncryptionPath(path, graftSrc string, safe bool) (float64, error) {
+	e := newEnv()
+	bcopyCost := e.K.Clock.CycleDuration(bcopyCycles)
+	// The stream filter point: its default is the plain kernel copy.
+	point := e.K.Grafts.RegisterPoint(&graft.Point{
+		Name:      "stream/0.filter",
+		Kind:      graft.Function,
+		Privilege: graft.Local,
+		Default: func(t *sched.Thread, args []int64) (int64, error) {
+			t.Charge(bcopyCost)
+			return 0, nil
+		},
+		Watchdog: 100 * time.Millisecond,
+	})
+	point.KeepOnAbort = true
+	iters := defaultIters
+	total, err := e.measureOn(func(t *sched.Thread) time.Duration {
+		var g *graft.Installed
+		if graftSrc != "" {
+			img, err := e.buildVariant(graftSrc, safe)
+			if err != nil {
+				panic(err)
+			}
+			var ierr error
+			g, ierr = e.install(t, point.Name, img, graft.InstallOptions{})
+			if ierr != nil {
+				panic(ierr)
+			}
+			// Seed the 8 KB input buffer.
+			heap := g.VM().Heap()
+			for i := 0; i < 8192; i++ {
+				heap[i] = byte(i * 7)
+			}
+		}
+		switch path {
+		case PathBase:
+			// The copy with all graft support removed.
+			return timed(e.K, iters, nil, func() {
+				t.Charge(bcopyCost)
+			})
+		case PathNull:
+			// The null graft is transaction-wrapped but the kernel still
+			// performs the copy (the data must move regardless).
+			return timed(e.K, iters, nil, func() {
+				_, _ = point.Invoke(t, 8192)
+				t.Charge(bcopyCost)
+			})
+		default:
+			// VINO: ungrafted invoke runs the default (the copy).
+			// Unsafe/safe/abort: the graft itself moves (and encrypts)
+			// the data, replacing the copy.
+			return timed(e.K, iters, nil, func() {
+				_, _ = point.Invoke(t, 8192)
+			})
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return usPerOp(total, iters), nil
+}
+
+// EncryptionCorrectness verifies (outside timing) that the safe and
+// unsafe encryption grafts compute identical output — the SFI rewrite
+// must preserve semantics. Used by tests and vinobench -check.
+func EncryptionCorrectness() error {
+	outputs := make([][]byte, 0, 2)
+	for _, safe := range []bool{false, true} {
+		e := newEnv()
+		point := e.K.Grafts.RegisterPoint(&graft.Point{
+			Name:      "stream/0.filter",
+			Kind:      graft.Function,
+			Privilege: graft.Local,
+			Default:   func(t *sched.Thread, args []int64) (int64, error) { return 0, nil },
+		})
+		img, err := e.buildVariant(encryptGraftBody, safe)
+		if err != nil {
+			return err
+		}
+		var out []byte
+		var fail error
+		e.K.SpawnProcess("check", graft.Root, func(p *kernel.Process) {
+			g, err := e.install(p.Thread, point.Name, img, graft.InstallOptions{})
+			if err != nil {
+				fail = err
+				return
+			}
+			heap := g.VM().Heap()
+			for i := 0; i < 8192; i++ {
+				heap[i] = byte(i * 7)
+			}
+			if _, err := point.Invoke(p.Thread, 8192); err != nil {
+				fail = err
+				return
+			}
+			out = append([]byte(nil), heap[8192:16384]...)
+		})
+		if err := e.K.Run(); err != nil {
+			return err
+		}
+		if fail != nil {
+			return fail
+		}
+		// Spot-check the cipher actually transformed the data.
+		if out[1] == byte(7) {
+			return fmt.Errorf("harness: encryption graft did not transform byte 1")
+		}
+		outputs = append(outputs, out)
+	}
+	for i := range outputs[0] {
+		if outputs[0][i] != outputs[1][i] {
+			return fmt.Errorf("harness: safe/unsafe encryption outputs diverge at byte %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+// Package kernel is the composition root of the simulated VINO kernel:
+// it wires the virtual clock, the preemptible scheduler, the lock
+// manager, the transaction manager and the graft registry together,
+// provides the process model (threads with user identities and resource
+// accounts), and registers the base graft-callable functions every
+// subsystem shares.
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"vino/internal/graft"
+	"vino/internal/lock"
+	"vino/internal/resource"
+	"vino/internal/sched"
+	"vino/internal/sfi"
+	"vino/internal/simclock"
+	"vino/internal/trace"
+	"vino/internal/txn"
+)
+
+// Config parameterises a kernel instance. The zero value is usable.
+type Config struct {
+	// Hz is the simulated CPU frequency (default: the paper's 120 MHz).
+	Hz int64
+	// SignKey is the trust-root key shared with the graft toolchain.
+	// Empty uses a fixed development key.
+	SignKey []byte
+	// Timeslice overrides the 10 ms scheduling quantum.
+	Timeslice time.Duration
+	// SwitchCost overrides the per-dispatch CPU charge.
+	SwitchCost time.Duration
+	// ZeroTxnCosts disables the paper-calibrated virtual-time costs for
+	// transaction operations (useful in logic-only tests).
+	ZeroTxnCosts bool
+	// UnsafeGrafts permits Root to install unrewritten images — for the
+	// measurement harness and misbehavior demos only.
+	UnsafeGrafts bool
+	// VMCosts overrides the graft VM cycle model.
+	VMCosts *sfi.Costs
+	// TraceDepth sizes the kernel flight recorder (default 256 events).
+	TraceDepth int
+}
+
+// Kernel is one simulated machine.
+type Kernel struct {
+	Clock  *simclock.Clock
+	Sched  *sched.Scheduler
+	Locks  *lock.Manager
+	Txns   *txn.Manager
+	Grafts *graft.Registry
+	// Signer is the toolchain signer matching the kernel's trust root;
+	// examples and tests use it to build loadable images in-process.
+	Signer *sfi.Signer
+	// Trace is the kernel's flight recorder: graft lifecycle events,
+	// lock time-outs and evictions land here.
+	Trace *trace.Buffer
+
+	log        []string
+	processes  map[string]*Process
+	nextPID    int
+	delegation *delegationState
+}
+
+// New builds a kernel.
+func New(cfg Config) *Kernel {
+	clock := simclock.New(cfg.Hz)
+	s := sched.New(clock)
+	if cfg.Timeslice > 0 {
+		s.SetTimeslice(cfg.Timeslice)
+	}
+	if cfg.SwitchCost >= 0 {
+		s.SwitchCost = cfg.SwitchCost
+	}
+	locks := lock.NewManager(clock)
+	txns := txn.NewManager()
+	if cfg.ZeroTxnCosts {
+		txns.Costs = txn.ZeroCosts()
+	}
+	locks.HolderInTxn = txns.InTxn
+	key := cfg.SignKey
+	if len(key) == 0 {
+		key = []byte("vino-development-toolchain-key")
+	}
+	signer := sfi.NewSigner(key)
+	reg := graft.NewRegistry(clock, txns, signer)
+	reg.UnsafeAllowed = cfg.UnsafeGrafts
+	reg.Costs = cfg.VMCosts
+	tr := trace.New(cfg.TraceDepth)
+	reg.Trace = tr
+	locks.Trace = tr
+	k := &Kernel{
+		Clock:     clock,
+		Sched:     s,
+		Locks:     locks,
+		Txns:      txns,
+		Grafts:    reg,
+		Signer:    signer,
+		Trace:     tr,
+		processes: make(map[string]*Process),
+	}
+	k.registerBaseCallables()
+	return k
+}
+
+// Logf appends a timestamped line to the kernel log.
+func (k *Kernel) Logf(format string, args ...any) {
+	k.log = append(k.log, fmt.Sprintf("[%8.3fms] %s",
+		float64(k.Clock.Now())/float64(time.Millisecond), fmt.Sprintf(format, args...)))
+}
+
+// Log returns the kernel log lines.
+func (k *Kernel) Log() []string { return append([]string(nil), k.log...) }
+
+// Run drives the scheduler until all threads finish.
+func (k *Kernel) Run() error { return k.Sched.Run() }
+
+// Shutdown kills all remaining threads.
+func (k *Kernel) Shutdown() { k.Sched.Shutdown() }
+
+// Process is a user-level process: one kernel thread plus identity and
+// resource limits.
+type Process struct {
+	Name    string
+	UID     graft.UID
+	Account *resource.Account
+	Thread  *sched.Thread
+	kernel  *Kernel
+}
+
+// ProcessLimits are the default resource limits granted to a new
+// process.
+var ProcessLimits = map[resource.Kind]int64{
+	resource.Memory:      8 << 20,
+	resource.WiredMemory: 1 << 20,
+	resource.KernelHeap:  256 << 10,
+	resource.Threads:     16,
+	resource.Sockets:     32,
+	resource.DiskBuffers: 64,
+}
+
+// SpawnProcess creates a process whose body runs on a fresh thread with
+// the given identity and default limits.
+func (k *Kernel) SpawnProcess(name string, uid graft.UID, body func(p *Process)) *Process {
+	k.nextPID++
+	acct := resource.NewAccount(fmt.Sprintf("proc:%s/%d", name, k.nextPID))
+	for kind, n := range ProcessLimits {
+		acct.SetLimit(kind, n)
+	}
+	p := &Process{Name: name, UID: uid, Account: acct, kernel: k}
+	p.Thread = k.Sched.Spawn(name, func(t *sched.Thread) {
+		graft.SetThreadIdentity(t, uid, acct)
+		body(p)
+	})
+	k.processes[name] = p
+	return p
+}
+
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.kernel }
+
+// Install is the process-facing graft installation call (Figure 1's
+// handle.replace): look up the point, load the image.
+func (p *Process) Install(pointName string, img *sfi.Image, opts graft.InstallOptions) (*graft.Installed, error) {
+	return p.kernel.Grafts.Install(p.Thread, pointName, img, opts)
+}
+
+// BuildAndInstall runs the full toolchain on source and installs the
+// result — the common path in examples and tests.
+func (p *Process) BuildAndInstall(pointName, src string, opts graft.InstallOptions) (*graft.Installed, error) {
+	img, _, err := sfi.BuildSafe(src, p.kernel.Signer)
+	if err != nil {
+		return nil, err
+	}
+	return p.Install(pointName, img, opts)
+}
+
+// registerBaseCallables installs the kernel functions available to every
+// graft regardless of subsystem.
+func (k *Kernel) registerBaseCallables() {
+	// vino.log(ptr, len): append a message from the graft heap to the
+	// kernel log. Demonstrates checked pointer arguments: the callable
+	// validates the range against the graft's own segment, exactly the
+	// argument checking the paper demands of graft-callable functions.
+	k.Grafts.RegisterCallable("vino.log", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		data, err := readGraftBytes(ctx.VM, args[0], args[1])
+		if err != nil {
+			return 0, err
+		}
+		k.Logf("graft %s: %s", ctx.Graft.Image.Name, string(data))
+		return 0, nil
+	})
+	// vino.now(): current virtual time in cycles. Meta-data, safe to
+	// expose.
+	k.Grafts.RegisterCallable("vino.now", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		return k.Clock.Cycles(k.Clock.Now()), nil
+	})
+	// vino.kheap_alloc(n): allocate n bytes of kernel heap against the
+	// graft's resource account, with transactional undo. The allocation
+	// is symbolic (the simulator tracks quantity, not placement); it is
+	// the quantity-constrained-resource enforcement path of §3.2.
+	k.Grafts.RegisterCallable("vino.kheap_alloc", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		n := args[0]
+		if n <= 0 {
+			return 0, fmt.Errorf("kheap_alloc: bad size %d", n)
+		}
+		acct := ctx.Account()
+		if err := acct.Charge(resource.KernelHeap, n); err != nil {
+			return 0, err
+		}
+		if ctx.Txn != nil {
+			ctx.Txn.PushUndo("kheap_alloc", func() { acct.Release(resource.KernelHeap, n) })
+		}
+		return acct.Used(resource.KernelHeap), nil
+	})
+	// vino.kheap_free(n): return kernel heap.
+	k.Grafts.RegisterCallable("vino.kheap_free", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		n := args[0]
+		if n <= 0 {
+			return 0, fmt.Errorf("kheap_free: bad size %d", n)
+		}
+		acct := ctx.Account()
+		acct.Release(resource.KernelHeap, n)
+		if ctx.Txn != nil {
+			ctx.Txn.PushUndo("kheap_free", func() {
+				// Best-effort: re-charge what was freed. A failure here
+				// means the limit shrank mid-transaction; usage clamps.
+				_ = acct.Charge(resource.KernelHeap, n)
+			})
+		}
+		return acct.Used(resource.KernelHeap), nil
+	})
+	// vino.yield(): voluntarily give up the CPU.
+	k.Grafts.RegisterCallable("vino.yield", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		ctx.Thread.Yield()
+		return 0, nil
+	})
+}
+
+// readGraftBytes validates that [addr, addr+n) lies inside the graft's
+// segment and returns a copy.
+func readGraftBytes(vm *sfi.VM, addr, n int64) ([]byte, error) {
+	base, size := int64(vm.HeapBase()), int64(vm.HeapSize())
+	if n < 0 || n > size || addr < base || addr+n > base+size {
+		return nil, fmt.Errorf("kernel: graft pointer [%d,%d) outside its segment [%d,%d)", addr, addr+n, base, base+size)
+	}
+	off := addr - base
+	return append([]byte(nil), vm.Heap()[off:off+n]...), nil
+}
+
+// ReadGraftBytes is the exported checked accessor for subsystems.
+func ReadGraftBytes(vm *sfi.VM, addr, n int64) ([]byte, error) { return readGraftBytes(vm, addr, n) }
+
+// WriteGraftBytes copies data into the graft segment at addr after the
+// same range check.
+func WriteGraftBytes(vm *sfi.VM, addr int64, data []byte) error {
+	base, size := int64(vm.HeapBase()), int64(vm.HeapSize())
+	n := int64(len(data))
+	if addr < base || addr+n > base+size {
+		return fmt.Errorf("kernel: graft pointer [%d,%d) outside its segment [%d,%d)", addr, addr+n, base, base+size)
+	}
+	copy(vm.Heap()[addr-base:], data)
+	return nil
+}

@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"vino/internal/graft"
+	"vino/internal/lock"
+	"vino/internal/sched"
+)
+
+// Schedule delegation (§4.3 of the paper): each user-level process has a
+// kernel thread with a schedule-delegate function. When the thread is
+// chosen to run, the function runs and returns the identity of the
+// thread that should actually receive the timeslice — itself by default,
+// or e.g. the database server a client is blocked on. The function is a
+// per-process (Local privilege) graft point.
+
+// delegationState lives on the kernel once EnableScheduleDelegation has
+// run.
+type delegationState struct {
+	points   map[sched.ThreadID]*graft.Point
+	procLock *lock.Lock
+	procIDs  []int64 // the "process list" the example graft scans
+	// alwaysConsult invokes the delegate point (its default) even when
+	// no graft is installed — the harness's Table 5 "VINO path".
+	alwaysConsult bool
+}
+
+// SetDelegationAlwaysConsult toggles the measurement-only mode in which
+// every dispatch consults the delegate point even when ungrafted.
+func (k *Kernel) SetDelegationAlwaysConsult(v bool) {
+	k.mustDelegation().alwaysConsult = v
+}
+
+const delegationKey = "kernel.delegation"
+
+var procListClass = &lock.Class{
+	Name: "proclist",
+	// The process list is consulted at every delegated dispatch; it is a
+	// short-hold resource ("a few hundreds of instructions"), so its
+	// contention time-out is one clock tick.
+	Timeout:     10 * time.Millisecond,
+	AcquireCost: 33 * time.Microsecond, // paper's measured lock overhead
+}
+
+// EnableScheduleDelegation wires the scheduler's dispatch hook to the
+// per-process schedule-delegate graft points and registers the
+// graft-callable process-list accessors.
+func (k *Kernel) EnableScheduleDelegation() {
+	if k.delegation != nil {
+		return
+	}
+	d := &delegationState{
+		points:   make(map[sched.ThreadID]*graft.Point),
+		procLock: k.Locks.NewLock("proclist", procListClass),
+	}
+	k.delegation = d
+
+	// sched.proc_count(): number of entries in the process list.
+	k.Grafts.RegisterCallable("sched.proc_count", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		return int64(len(d.procIDs)), nil
+	})
+	// sched.proc_id(i): the i-th process-list entry. The first call in a
+	// transaction takes the process-list lock (held to commit — the
+	// §4.3 lock overhead).
+	k.Grafts.RegisterCallable("sched.proc_id", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		if ctx.Txn != nil && !d.procLock.HeldBy(ctx.Thread) {
+			ctx.Txn.AcquireLock(d.procLock, lock.Shared)
+		}
+		i := args[0]
+		if i < 0 || i >= int64(len(d.procIDs)) {
+			return 0, fmt.Errorf("proc_id: index %d out of range", i)
+		}
+		return d.procIDs[i], nil
+	})
+
+	k.Sched.DispatchHook = func(t *sched.Thread) *sched.Thread {
+		p := d.points[t.ID()]
+		if p == nil {
+			return nil
+		}
+		if !p.Grafted() {
+			if d.alwaysConsult {
+				_, _ = p.Invoke(t, int64(t.ID()))
+			}
+			return nil
+		}
+		res, err := p.Invoke(t, int64(t.ID()))
+		if err != nil {
+			return nil // graft aborted and was removed; default applies
+		}
+		if res == int64(t.ID()) {
+			return nil
+		}
+		return k.Sched.Lookup(sched.ThreadID(res))
+	}
+}
+
+// SetProcessList publishes the identifiers the example scheduling graft
+// scans (the paper uses a 64-entry list).
+func (k *Kernel) SetProcessList(ids []int64) {
+	k.mustDelegation().procIDs = append([]int64(nil), ids...)
+}
+
+func (k *Kernel) mustDelegation() *delegationState {
+	if k.delegation == nil {
+		panic("kernel: EnableScheduleDelegation not called")
+	}
+	return k.delegation
+}
+
+// DelegatePoint returns (registering on first use) the schedule-delegate
+// graft point for a thread. The point is Local: a biased delegate only
+// affects threads that agreed to participate (rule 8).
+func (k *Kernel) DelegatePoint(t *sched.Thread) *graft.Point {
+	d := k.mustDelegation()
+	if p, ok := d.points[t.ID()]; ok {
+		return p
+	}
+	p := k.Grafts.RegisterPoint(&graft.Point{
+		Name:      fmt.Sprintf("proc/%d.schedule-delegate", t.ID()),
+		Kind:      graft.Function,
+		Privilege: graft.Local,
+		// Default: run the chosen thread itself.
+		Default: func(cur *sched.Thread, args []int64) (int64, error) {
+			return args[0], nil
+		},
+		// The returned ID must name a live thread ("which is
+		// accomplished by probing a hash table containing the valid
+		// thread IDs", §4.3). An invalid ID falls back to the default
+		// choice rather than aborting the dispatch.
+		Validate: func(cur *sched.Thread, args []int64, res int64) (int64, error) {
+			cur.ChargeCycles(15) // hash-probe cost
+			if k.Sched.Lookup(sched.ThreadID(res)) == nil {
+				return args[0], nil
+			}
+			return res, nil
+		},
+		IndirectionCost: time.Microsecond, // Table 5 indirection row
+	})
+	d.points[t.ID()] = p
+	return p
+}

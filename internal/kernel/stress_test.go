@@ -1,0 +1,161 @@
+package kernel
+
+// Stress: random transactional lock workloads. Whatever interleavings
+// and deadlocks random lock orders produce, the contention time-outs
+// must keep the system live (no scheduler deadlock), and when the dust
+// settles every lock must be free and every transaction accounted for.
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vino/internal/graft"
+	"vino/internal/lock"
+	"vino/internal/sched"
+	"vino/internal/txn"
+)
+
+func TestPropertyRandomLockWorkloadsStayLive(t *testing.T) {
+	f := func(seed int64, nThreadsRaw, nLocksRaw uint8) bool {
+		nThreads := int(nThreadsRaw%4) + 2
+		nLocks := int(nLocksRaw%3) + 2
+		k := New(Config{ZeroTxnCosts: true})
+		cls := &lock.Class{Name: "stress", Timeout: 20 * time.Millisecond}
+		locks := make([]*lock.Lock, nLocks)
+		for i := range locks {
+			locks[i] = k.Locks.NewLock("L", cls)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		type plan struct {
+			order []int
+			hold  time.Duration
+			abort bool
+		}
+		plans := make([][]plan, nThreads)
+		for i := range plans {
+			rounds := rng.Intn(4) + 1
+			for r := 0; r < rounds; r++ {
+				p := plan{
+					hold:  time.Duration(rng.Intn(10)+1) * time.Millisecond,
+					abort: rng.Intn(4) == 0,
+				}
+				perm := rng.Perm(nLocks)
+				p.order = perm[:rng.Intn(nLocks)+1]
+				plans[i] = append(plans[i], p)
+			}
+		}
+		completed := 0
+		for i := 0; i < nThreads; i++ {
+			myPlans := plans[i]
+			k.SpawnProcess("stress", graft.UID(i+1), func(proc *Process) {
+				th := proc.Thread
+				for _, p := range myPlans {
+					err := k.Txns.Run(th, func(tx *txn.Txn) error {
+						for _, li := range p.order {
+							tx.AcquireLock(locks[li], lock.Exclusive)
+							th.Charge(p.hold / time.Duration(len(p.order)))
+						}
+						if p.abort {
+							return errors.New("voluntary abort")
+						}
+						return nil
+					})
+					_ = err // timeouts and voluntary aborts are both fine
+				}
+				completed++
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Logf("Run: %v", err)
+			return false // deadlock not broken, or a thread crashed
+		}
+		if completed != nThreads {
+			return false
+		}
+		// Quiescent invariants.
+		for _, l := range locks {
+			if l.HolderCount() != 0 || l.WaiterCount() != 0 {
+				t.Logf("lock left held/waited: holders=%d waiters=%d", l.HolderCount(), l.WaiterCount())
+				return false
+			}
+		}
+		ts := k.Txns.Stats()
+		if ts.Begins != ts.Commits+ts.Aborts {
+			t.Logf("txn books: begins=%d commits=%d aborts=%d", ts.Begins, ts.Commits, ts.Aborts)
+			return false
+		}
+		ls := k.Locks.Stats()
+		if ls.Releases != ls.Acquisitions {
+			t.Logf("lock books: acq=%d rel=%d", ls.Acquisitions, ls.Releases)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRandomGraftWorkloadsSurvive: random mixes of benign and
+// misbehaving grafts invoked back to back; the kernel finishes, every
+// failing graft is removed, and the books balance.
+func TestPropertyRandomGraftWorkloadsSurvive(t *testing.T) {
+	sources := []struct {
+		src     string
+		failing bool
+	}{
+		{".name ok\n.func main\nmain:\n add r0, r1, r1\n ret\n", false},
+		{".name okmem\n.func main\nmain:\n st [r10+32], r1\n ld r0, [r10+32]\n ret\n", false},
+		{".name trap\n.func main\nmain:\n movi r9, 0\n div r0, r0, r9\n ret\n", true},
+		{".name spin\n.func main\nmain:\n jmp main\n", true},
+	}
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%6) + 2
+		k := New(Config{ZeroTxnCosts: true})
+		ok := true
+		k.SpawnProcess("grafter", 5, func(p *Process) {
+			for i := 0; i < n; i++ {
+				c := sources[rng.Intn(len(sources))]
+				pt := k.Grafts.RegisterPoint(&graft.Point{
+					Name:     pointName(i),
+					Kind:     graft.Function,
+					Default:  func(t2 *sched.Thread, args []int64) (int64, error) { return -1, nil },
+					Watchdog: 30 * time.Millisecond,
+				})
+				g, err := p.BuildAndInstall(pt.Name, c.src, graft.InstallOptions{})
+				if err != nil {
+					ok = false
+					return
+				}
+				res, ierr := pt.Invoke(p.Thread, 21)
+				if c.failing {
+					if ierr == nil || !g.Removed() || res != -1 {
+						ok = false
+						return
+					}
+				} else {
+					if ierr != nil || g.Removed() {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		ts := k.Txns.Stats()
+		return ok && ts.Begins == ts.Commits+ts.Aborts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pointName(i int) string {
+	return "stress/" + string(rune('a'+i)) + ".fn"
+}

@@ -1,0 +1,214 @@
+// Package netstk is the minimal in-simulator network beneath the event
+// graft experiments (§3.5 of the paper): ports with listeners,
+// connections carrying byte streams, and an event graft point per port.
+// When a connection arrives, the kernel spawns a worker thread per
+// installed handler and runs it inside a transaction, exactly as VINO
+// does for its in-kernel HTTP and NFS servers (Figure 2).
+package netstk
+
+import (
+	"errors"
+	"fmt"
+
+	"vino/internal/graft"
+	"vino/internal/kernel"
+	"vino/internal/resource"
+	"vino/internal/sched"
+)
+
+// Errors returned by the network layer.
+var (
+	ErrNoListener = errors.New("netstk: no listener on port")
+	ErrBadConn    = errors.New("netstk: no such connection")
+	ErrConnClosed = errors.New("netstk: connection closed")
+)
+
+// Net is the simulated network stack.
+type Net struct {
+	k        *kernel.Kernel
+	ports    map[string]*Port
+	conns    map[int64]*Conn
+	nextConn int64
+	stats    Stats
+}
+
+// Stats counts network events.
+type Stats struct {
+	Connections int64
+	BytesIn     int64
+	BytesOut    int64
+	Rejected    int64
+}
+
+// New creates a network stack and registers its graft-callable
+// functions.
+func New(k *kernel.Kernel) *Net {
+	n := &Net{
+		k:     k,
+		ports: make(map[string]*Port),
+		conns: make(map[int64]*Conn),
+	}
+	n.registerCallables()
+	return n
+}
+
+// Stats returns a copy of the counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Port is a listening endpoint whose connection event is a graft point.
+type Port struct {
+	Proto  string
+	Number int
+	point  *graft.Point
+	net    *Net
+}
+
+// Point returns the port's connection event graft point.
+func (p *Port) Point() *graft.Point { return p.point }
+
+func portKey(proto string, num int) string { return fmt.Sprintf("%s/%d", proto, num) }
+
+// Listen creates (or returns) the listener for proto/port. The event
+// graft point is named e.g. "tcp/80.connection".
+func (n *Net) Listen(proto string, num int) *Port {
+	key := portKey(proto, num)
+	if p, ok := n.ports[key]; ok {
+		return p
+	}
+	p := &Port{Proto: proto, Number: num, net: n}
+	p.point = n.k.Grafts.RegisterPoint(&graft.Point{
+		Name:      key + ".connection",
+		Kind:      graft.Event,
+		Privilege: graft.Local,
+	})
+	n.ports[key] = p
+	return p
+}
+
+// Conn is one simulated connection: a request byte stream in, a response
+// byte stream out.
+type Conn struct {
+	ID      int64
+	Port    int
+	in      []byte
+	readPos int
+	out     []byte
+	closed  bool
+}
+
+// Response returns the bytes written by handlers so far.
+func (c *Conn) Response() []byte { return append([]byte(nil), c.out...) }
+
+// Closed reports whether a handler closed the connection.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Connect delivers a request to proto/port: a connection is created and
+// the port's event point triggered, spawning one transactional worker
+// per installed handler. The caller should drive the scheduler (yield or
+// run) before inspecting the response.
+func (n *Net) Connect(s *sched.Scheduler, proto string, num int, request []byte) (*Conn, error) {
+	p, ok := n.ports[portKey(proto, num)]
+	if !ok {
+		n.stats.Rejected++
+		return nil, fmt.Errorf("%w: %s/%d", ErrNoListener, proto, num)
+	}
+	n.nextConn++
+	c := &Conn{ID: n.nextConn, Port: num, in: append([]byte(nil), request...)}
+	n.conns[c.ID] = c
+	n.stats.Connections++
+	n.stats.BytesIn += int64(len(request))
+	p.point.Trigger(s, c.ID)
+	return c, nil
+}
+
+func (n *Net) lookupConn(id int64) (*Conn, error) {
+	c, ok := n.conns[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadConn, id)
+	}
+	return c, nil
+}
+
+// registerCallables exposes the graft-callable socket interface. All
+// byte transfers are range-checked against the graft's segment, and all
+// state changes are transactional: an aborted handler leaves no partial
+// response behind.
+func (n *Net) registerCallables() {
+	// net.read(conn, bufAddr, maxLen) -> bytes copied into the graft
+	// heap; 0 at end of request.
+	n.k.Grafts.RegisterCallable("net.read", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		c, err := n.lookupConn(args[0])
+		if err != nil {
+			return 0, err
+		}
+		if c.closed {
+			return 0, ErrConnClosed
+		}
+		maxLen := args[2]
+		if maxLen <= 0 {
+			return 0, fmt.Errorf("net.read: bad length %d", maxLen)
+		}
+		avail := int64(len(c.in) - c.readPos)
+		if avail == 0 {
+			return 0, nil
+		}
+		if maxLen > avail {
+			maxLen = avail
+		}
+		data := c.in[c.readPos : c.readPos+int(maxLen)]
+		if err := kernel.WriteGraftBytes(ctx.VM, args[1], data); err != nil {
+			return 0, err
+		}
+		prev := c.readPos
+		c.readPos += int(maxLen)
+		if ctx.Txn != nil {
+			ctx.Txn.PushUndo("net.read", func() { c.readPos = prev })
+		}
+		return maxLen, nil
+	})
+	// net.write(conn, bufAddr, len): append response bytes.
+	n.k.Grafts.RegisterCallable("net.write", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		c, err := n.lookupConn(args[0])
+		if err != nil {
+			return 0, err
+		}
+		if c.closed {
+			return 0, ErrConnClosed
+		}
+		data, err := kernel.ReadGraftBytes(ctx.VM, args[1], args[2])
+		if err != nil {
+			return 0, err
+		}
+		if err := ctx.Account().Charge(resource.Memory, int64(len(data))); err != nil {
+			return 0, err
+		}
+		prevLen := len(c.out)
+		c.out = append(c.out, data...)
+		n.stats.BytesOut += int64(len(data))
+		acct := ctx.Account()
+		nBytes := int64(len(data))
+		if ctx.Txn != nil {
+			ctx.Txn.PushUndo("net.write", func() {
+				c.out = c.out[:prevLen]
+				n.stats.BytesOut -= nBytes
+				acct.Release(resource.Memory, nBytes)
+			})
+		}
+		return int64(len(data)), nil
+	})
+	// net.close(conn): end the connection.
+	n.k.Grafts.RegisterCallable("net.close", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		c, err := n.lookupConn(args[0])
+		if err != nil {
+			return 0, err
+		}
+		if c.closed {
+			return 0, nil
+		}
+		c.closed = true
+		if ctx.Txn != nil {
+			ctx.Txn.PushUndo("net.close", func() { c.closed = false })
+		}
+		return 0, nil
+	})
+}

@@ -1,0 +1,413 @@
+package sfi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates GIR assembly source into an (unsafe, unsigned)
+// image. The source format is line-oriented:
+//
+//	; comment (also //)
+//	.name encrypt           ; image name
+//	.import fs.prefetch     ; kernel symbol, callable via callk
+//	.func main              ; export label main as an entry point
+//	.target helper          ; register label as an indirect-call target
+//	.data "raw bytes"       ; append string bytes to the initial heap
+//	.dataword 42            ; append a little-endian 64-bit word
+//	.space 256              ; append zero bytes
+//
+//	main:
+//	    movi r1, 4096
+//	    ld   r2, [r1+8]
+//	    st   [r1+0], r2
+//	    lea  r3, helper
+//	    callr r3
+//	    callk fs.prefetch
+//	    jnz  r2, main
+//	    ret
+//
+// Registers are r0–r11 and r14; sp names the stack pointer; r12/r13 are
+// reserved for the SFI rewriter and rejected in source.
+func Assemble(src string) (*Image, error) {
+	a := &assembler{
+		img:     &Image{Funcs: make(map[string]int)},
+		labels:  make(map[string]int),
+		imports: make(map[string]int),
+	}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	return a.img, nil
+}
+
+type fixup struct {
+	pc    int
+	label string
+	line  int
+}
+
+type assembler struct {
+	img     *Image
+	labels  map[string]int
+	imports map[string]int
+	fixups  []fixup
+	funcs   []string // labels declared .func, resolved at the end
+	targets []string // labels declared .target
+	line    int
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return fmt.Errorf("sfi: asm line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) run(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 || strings.ContainsAny(line[:colon], " \t\",[") {
+				break
+			}
+			name := line[:colon]
+			if !validIdent(name) {
+				return a.errf("bad label %q", name)
+			}
+			if _, dup := a.labels[name]; dup {
+				return a.errf("duplicate label %q", name)
+			}
+			a.labels[name] = len(a.img.Code)
+			line = strings.TrimSpace(line[colon+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(line); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.instruction(line); err != nil {
+			return err
+		}
+	}
+	return a.finish()
+}
+
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case ';':
+			if !inStr {
+				return line[:i]
+			}
+		case '/':
+			if !inStr && i+1 < len(line) && line[i+1] == '/' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	arg := ""
+	if len(fields) == 2 {
+		arg = strings.TrimSpace(fields[1])
+	}
+	switch fields[0] {
+	case ".name":
+		if arg == "" {
+			return a.errf(".name needs an argument")
+		}
+		a.img.Name = arg
+	case ".import":
+		if !validIdent(arg) {
+			return a.errf("bad import symbol %q", arg)
+		}
+		if _, dup := a.imports[arg]; dup {
+			return a.errf("duplicate import %q", arg)
+		}
+		a.imports[arg] = len(a.img.Symbols)
+		a.img.Symbols = append(a.img.Symbols, arg)
+	case ".func":
+		if !validIdent(arg) {
+			return a.errf("bad .func label %q", arg)
+		}
+		a.funcs = append(a.funcs, arg)
+	case ".target":
+		if !validIdent(arg) {
+			return a.errf("bad .target label %q", arg)
+		}
+		a.targets = append(a.targets, arg)
+	case ".data":
+		s, err := strconv.Unquote(arg)
+		if err != nil {
+			return a.errf(".data wants a quoted string: %v", err)
+		}
+		a.img.Data = append(a.img.Data, s...)
+	case ".dataword":
+		v, err := strconv.ParseInt(arg, 0, 64)
+		if err != nil {
+			return a.errf(".dataword wants an integer: %v", err)
+		}
+		var w [8]byte
+		for i := 0; i < 8; i++ {
+			w[i] = byte(uint64(v) >> (8 * i))
+		}
+		a.img.Data = append(a.img.Data, w[:]...)
+	case ".space":
+		n, err := strconv.ParseInt(arg, 0, 32)
+		if err != nil || n < 0 {
+			return a.errf(".space wants a non-negative integer")
+		}
+		a.img.Data = append(a.img.Data, make([]byte, n)...)
+	default:
+		return a.errf("unknown directive %s", fields[0])
+	}
+	return nil
+}
+
+func (a *assembler) instruction(line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(mnemonic)
+	var operands []string
+	rest = strings.TrimSpace(rest)
+	if rest != "" {
+		for _, o := range strings.Split(rest, ",") {
+			operands = append(operands, strings.TrimSpace(o))
+		}
+	}
+	op, ok := opByName(mnemonic)
+	if !ok {
+		return a.errf("unknown instruction %q", mnemonic)
+	}
+	ins := Instr{Op: op}
+	need := func(n int) error {
+		if len(operands) != n {
+			return a.errf("%s wants %d operands, got %d", mnemonic, n, len(operands))
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case NOP, RET, HALT:
+		err = need(0)
+	case MOVI:
+		if err = need(2); err == nil {
+			if ins.Rd, err = a.reg(operands[0]); err == nil {
+				ins.Imm, err = a.imm(operands[1])
+			}
+		}
+	case LEA:
+		if err = need(2); err == nil {
+			if ins.Rd, err = a.reg(operands[0]); err == nil {
+				a.fixups = append(a.fixups, fixup{pc: len(a.img.Code), label: operands[1], line: a.line})
+			}
+		}
+	case MOV:
+		if err = need(2); err == nil {
+			if ins.Rd, err = a.reg(operands[0]); err == nil {
+				ins.Rs1, err = a.reg(operands[1])
+			}
+		}
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, CMPEQ, CMPLT, CMPLE:
+		if err = need(3); err == nil {
+			if ins.Rd, err = a.reg(operands[0]); err == nil {
+				if ins.Rs1, err = a.reg(operands[1]); err == nil {
+					ins.Rs2, err = a.reg(operands[2])
+				}
+			}
+		}
+	case ADDI, ANDI:
+		if err = need(3); err == nil {
+			if ins.Rd, err = a.reg(operands[0]); err == nil {
+				if ins.Rs1, err = a.reg(operands[1]); err == nil {
+					ins.Imm, err = a.imm(operands[2])
+				}
+			}
+		}
+	case JMP:
+		if err = need(1); err == nil {
+			a.fixups = append(a.fixups, fixup{pc: len(a.img.Code), label: operands[0], line: a.line})
+		}
+	case JZ, JNZ:
+		if err = need(2); err == nil {
+			if ins.Rs1, err = a.reg(operands[0]); err == nil {
+				a.fixups = append(a.fixups, fixup{pc: len(a.img.Code), label: operands[1], line: a.line})
+			}
+		}
+	case LD, LDB:
+		if err = need(2); err == nil {
+			if ins.Rd, err = a.reg(operands[0]); err == nil {
+				ins.Rs1, ins.Imm, err = a.memOperand(operands[1])
+			}
+		}
+	case ST, STB:
+		if err = need(2); err == nil {
+			if ins.Rs1, ins.Imm, err = a.memOperand(operands[0]); err == nil {
+				ins.Rs2, err = a.reg(operands[1])
+			}
+		}
+	case PUSH:
+		if err = need(1); err == nil {
+			ins.Rs1, err = a.reg(operands[0])
+		}
+	case POP:
+		if err = need(1); err == nil {
+			ins.Rd, err = a.reg(operands[0])
+		}
+	case CALL:
+		if err = need(1); err == nil {
+			a.fixups = append(a.fixups, fixup{pc: len(a.img.Code), label: operands[0], line: a.line})
+		}
+	case CALLR:
+		if err = need(1); err == nil {
+			ins.Rs1, err = a.reg(operands[0])
+		}
+	case CALLK:
+		if err = need(1); err == nil {
+			idx, ok := a.imports[operands[0]]
+			if !ok {
+				err = a.errf("callk of %q without .import", operands[0])
+			}
+			ins.Imm = int64(idx)
+		}
+	case SANDBOX:
+		if err = need(1); err == nil {
+			ins.Rd, err = a.reg(operands[0])
+		}
+	case CHKCALL:
+		if err = need(1); err == nil {
+			ins.Rs1, err = a.reg(operands[0])
+		}
+	default:
+		err = a.errf("unhandled opcode %s", op)
+	}
+	if err != nil {
+		return err
+	}
+	a.img.Code = append(a.img.Code, ins)
+	return nil
+}
+
+func opByName(name string) (Op, bool) {
+	for op, n := range opNames {
+		if n == name {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+func (a *assembler) reg(s string) (uint8, error) {
+	switch strings.ToLower(s) {
+	case "sp":
+		return RegSP, nil
+	case "s0", "s1", "r12", "r13":
+		return 0, a.errf("register %s is reserved for the SFI rewriter", s)
+	}
+	if !strings.HasPrefix(s, "r") && !strings.HasPrefix(s, "R") {
+		return 0, a.errf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, a.errf("bad register %q", s)
+	}
+	if n == RegScratch0 || n == RegScratch1 {
+		return 0, a.errf("register %s is reserved for the SFI rewriter", s)
+	}
+	return uint8(n), nil
+}
+
+func (a *assembler) imm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, a.errf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "[reg]", "[reg+off]" or "[reg-off]".
+func (a *assembler) memOperand(s string) (uint8, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := a.reg(strings.TrimSpace(inner))
+		return r, 0, err
+	}
+	r, err := a.reg(strings.TrimSpace(inner[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := a.imm(strings.TrimSpace(inner[sep:]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}
+
+func (a *assembler) finish() error {
+	for _, f := range a.fixups {
+		pc, ok := a.labels[f.label]
+		if !ok {
+			return fmt.Errorf("sfi: asm line %d: undefined label %q", f.line, f.label)
+		}
+		a.img.Code[f.pc].Imm = int64(pc)
+	}
+	for _, name := range a.funcs {
+		pc, ok := a.labels[name]
+		if !ok {
+			return fmt.Errorf("sfi: asm: .func of undefined label %q", name)
+		}
+		a.img.Funcs[name] = pc
+		a.img.CallTargets = append(a.img.CallTargets, pc)
+	}
+	for _, name := range a.targets {
+		pc, ok := a.labels[name]
+		if !ok {
+			return fmt.Errorf("sfi: asm: .target of undefined label %q", name)
+		}
+		a.img.CallTargets = append(a.img.CallTargets, pc)
+	}
+	if len(a.img.Funcs) == 0 {
+		return fmt.Errorf("sfi: asm: image %q exports no entry points (.func)", a.img.Name)
+	}
+	return nil
+}

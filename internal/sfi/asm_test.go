@@ -1,0 +1,319 @@
+package sfi
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustAssemble(t testing.TB, src string) *Image {
+	t.Helper()
+	img, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return img
+}
+
+func TestAssembleBasic(t *testing.T) {
+	img := mustAssemble(t, `
+.name demo
+.func main
+main:
+    movi r1, 42
+    mov  r0, r1
+    ret
+`)
+	if img.Name != "demo" {
+		t.Errorf("name = %q", img.Name)
+	}
+	if len(img.Code) != 3 {
+		t.Fatalf("code len = %d", len(img.Code))
+	}
+	if img.Code[0].Op != MOVI || img.Code[0].Rd != 1 || img.Code[0].Imm != 42 {
+		t.Errorf("ins0 = %v", img.Code[0])
+	}
+	if pc, ok := img.Funcs["main"]; !ok || pc != 0 {
+		t.Errorf("Funcs = %v", img.Funcs)
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	img := mustAssemble(t, `
+.name loops
+.func main
+main:
+    movi r1, 10
+loop:
+    addi r1, r1, -1
+    jnz r1, loop
+    jmp done
+done:
+    ret
+`)
+	// loop label is at pc 1, done at pc 4.
+	if img.Code[2].Op != JNZ || img.Code[2].Imm != 1 {
+		t.Errorf("jnz = %v", img.Code[2])
+	}
+	if img.Code[3].Op != JMP || img.Code[3].Imm != 4 {
+		t.Errorf("jmp = %v", img.Code[3])
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	img := mustAssemble(t, `
+.name mem
+.func main
+main:
+    ld  r1, [r2+16]
+    ld  r3, [r2-8]
+    st  [sp+0], r1
+    ldb r4, [r2]
+    stb [r2+1], r4
+    ret
+`)
+	c := img.Code
+	if c[0].Op != LD || c[0].Rs1 != 2 || c[0].Imm != 16 || c[0].Rd != 1 {
+		t.Errorf("ld = %v", c[0])
+	}
+	if c[1].Imm != -8 {
+		t.Errorf("negative offset = %v", c[1])
+	}
+	if c[2].Op != ST || c[2].Rs1 != RegSP || c[2].Rs2 != 1 {
+		t.Errorf("st = %v", c[2])
+	}
+	if c[3].Imm != 0 {
+		t.Errorf("bare mem operand = %v", c[3])
+	}
+}
+
+func TestAssembleImportsAndCallk(t *testing.T) {
+	img := mustAssemble(t, `
+.name k
+.import fs.prefetch
+.import vm.page_owner
+.func main
+main:
+    callk vm.page_owner
+    callk fs.prefetch
+    ret
+`)
+	if len(img.Symbols) != 2 || img.Symbols[0] != "fs.prefetch" {
+		t.Fatalf("symbols = %v", img.Symbols)
+	}
+	if img.Code[0].Imm != 1 || img.Code[1].Imm != 0 {
+		t.Errorf("callk indices = %v %v", img.Code[0], img.Code[1])
+	}
+}
+
+func TestAssembleDataDirectives(t *testing.T) {
+	img := mustAssemble(t, `
+.name d
+.data "AB"
+.dataword 0x0102
+.space 3
+.func main
+main:
+    ret
+`)
+	want := []byte{'A', 'B', 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	if len(img.Data) != len(want) {
+		t.Fatalf("data = %v", img.Data)
+	}
+	for i := range want {
+		if img.Data[i] != want[i] {
+			t.Fatalf("data = %v, want %v", img.Data, want)
+		}
+	}
+}
+
+func TestAssembleLeaAndTargets(t *testing.T) {
+	img := mustAssemble(t, `
+.name ind
+.func main
+.target helper
+main:
+    lea r1, helper
+    chkcall r1
+    callr r1
+    ret
+helper:
+    movi r0, 7
+    ret
+`)
+	helperPC := img.Funcs["main"] + 4
+	if img.Code[0].Op != LEA || img.Code[0].Imm != int64(helperPC) {
+		t.Errorf("lea = %v, want target %d", img.Code[0], helperPC)
+	}
+	found := false
+	for _, ct := range img.CallTargets {
+		if ct == helperPC {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("call targets = %v, want %d", img.CallTargets, helperPC)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"reserved reg", ".func m\nm:\n mov r12, r1\n ret", "reserved"},
+		{"reserved s0", ".func m\nm:\n mov s0, r1\n ret", "reserved"},
+		{"unknown op", ".func m\nm:\n frob r1\n ret", "unknown instruction"},
+		{"undefined label", ".func m\nm:\n jmp nowhere\n ret", "undefined label"},
+		{"bad reg", ".func m\nm:\n mov r99, r1\n ret", "bad register"},
+		{"no entry", "start:\n ret", "no entry points"},
+		{"callk without import", ".func m\nm:\n callk fs.read\n ret", "without .import"},
+		{"duplicate label", ".func m\nm:\n ret\nm:\n ret", "duplicate label"},
+		{"operand count", ".func m\nm:\n add r1, r2\n ret", "wants 3 operands"},
+		{"bad directive", ".bogus x\n.func m\nm:\n ret", "unknown directive"},
+		{"func of undefined", ".func ghost\n.func m\nm:\n ret", "undefined label"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("Assemble err = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	img := mustAssemble(t, `
+; full line comment
+.name c // another comment style
+.func main
+main:
+    movi r1, 1 ; trailing
+    ret // trailing too
+`)
+	if len(img.Code) != 2 {
+		t.Fatalf("code = %v", img.Code)
+	}
+}
+
+func TestDataStringWithSemicolon(t *testing.T) {
+	img := mustAssemble(t, `
+.name c
+.data "a;b"
+.func main
+main:
+    ret
+`)
+	if string(img.Data) != "a;b" {
+		t.Fatalf("data = %q, comment stripping broke quoted strings", img.Data)
+	}
+}
+
+func TestLabelWithInstructionOnSameLine(t *testing.T) {
+	img := mustAssemble(t, `
+.name c
+.func main
+main: movi r0, 5
+      ret
+`)
+	if len(img.Code) != 2 || img.Code[0].Op != MOVI {
+		t.Fatalf("code = %v", img.Code)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := mustAssemble(t, `
+.name rt
+.import fs.prefetch
+.data "xyz"
+.func main
+.target aux
+main:
+    movi r1, -7
+    callk fs.prefetch
+    lea r2, aux
+    callr r2
+    ret
+aux:
+    ret
+`)
+	dec, err := Decode(img.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if dec.Name != img.Name || len(dec.Code) != len(img.Code) ||
+		string(dec.Data) != string(img.Data) || len(dec.Symbols) != 1 {
+		t.Fatalf("round trip mismatch: %+v", dec)
+	}
+	for i := range img.Code {
+		if dec.Code[i] != img.Code[i] {
+			t.Fatalf("code[%d] = %v, want %v", i, dec.Code[i], img.Code[i])
+		}
+	}
+	if dec.Funcs["main"] != img.Funcs["main"] {
+		t.Fatal("entry points lost")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not an image")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	img := mustAssemble(t, ".name x\n.func m\nm:\n ret")
+	enc := img.Encode()
+	if _, err := Decode(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated image decoded")
+	}
+	if _, err := Decode(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	img := mustAssemble(t, ".name s\n.func m\nm:\n ret")
+	signer := NewSigner([]byte("toolchain key"))
+	signer.Sign(img)
+	dec, err := DecodeSigned(img.EncodeSigned())
+	if err != nil {
+		t.Fatalf("DecodeSigned: %v", err)
+	}
+	if !signer.Verify(dec) {
+		t.Fatal("signature did not survive the round trip")
+	}
+}
+
+func TestSignatureDetectsTampering(t *testing.T) {
+	img := mustAssemble(t, ".name s\n.func m\nm:\n movi r0, 1\n ret")
+	signer := NewSigner([]byte("toolchain key"))
+	signer.Sign(img)
+	img.Code[0].Imm = 666 // tamper after signing
+	if signer.Verify(img) {
+		t.Fatal("tampered image verified")
+	}
+}
+
+func TestSignatureKeyMatters(t *testing.T) {
+	img := mustAssemble(t, ".name s\n.func m\nm:\n ret")
+	NewSigner([]byte("attacker key")).Sign(img)
+	if NewSigner([]byte("kernel key")).Verify(img) {
+		t.Fatal("image signed under the wrong key verified")
+	}
+}
+
+func TestDisassembleRoundReadable(t *testing.T) {
+	img := mustAssemble(t, `
+.name dis
+.import fs.prefetch
+.func main
+main:
+    movi r1, 3
+    ld r2, [r1+8]
+    callk fs.prefetch
+    ret
+`)
+	s := Disassemble(img)
+	for _, want := range []string{"main:", "movi r1, 3", "ld r2, [r1+8]", "callk sym0", "sym0 = fs.prefetch"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package sfi
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Image is a compiled graft: code, initial heap data, the kernel symbols
+// it imports, its exported entry points, and the set of valid
+// indirect-call targets. After processing by the rewriter it also
+// carries Safe=true and, once signed, the tool's signature.
+//
+// The kernel loader (package graft) accepts an image only if the
+// signature verifies and Safe is set — the paper's "VINO must ensure
+// that code loaded into the kernel has been processed by MiSFIT".
+type Image struct {
+	// Name identifies the graft in diagnostics.
+	Name string
+	// Code is the instruction stream.
+	Code []Instr
+	// Data is copied to the bottom of the graft heap at load time.
+	Data []byte
+	// Symbols are the kernel functions this graft calls; CALLK's Imm
+	// indexes this list. The dynamic linker resolves each name against
+	// the kernel's graft-callable list.
+	Symbols []string
+	// Funcs maps exported entry-point names to code addresses.
+	Funcs map[string]int
+	// CallTargets are the code addresses that CALLR may reach.
+	CallTargets []int
+	// Safe records that the image has passed the SFI rewriter.
+	Safe bool
+	// Sig is the toolchain signature over the canonical encoding.
+	Sig []byte
+}
+
+// Clone returns a deep copy of the image.
+func (img *Image) Clone() *Image {
+	out := &Image{
+		Name:        img.Name,
+		Code:        append([]Instr(nil), img.Code...),
+		Data:        append([]byte(nil), img.Data...),
+		Symbols:     append([]string(nil), img.Symbols...),
+		CallTargets: append([]int(nil), img.CallTargets...),
+		Safe:        img.Safe,
+		Sig:         append([]byte(nil), img.Sig...),
+	}
+	out.Funcs = make(map[string]int, len(img.Funcs))
+	for k, v := range img.Funcs {
+		out.Funcs[k] = v
+	}
+	return out
+}
+
+// Entry returns the code address of the named entry point.
+func (img *Image) Entry(name string) (int, error) {
+	pc, ok := img.Funcs[name]
+	if !ok {
+		return 0, fmt.Errorf("sfi: image %q has no entry point %q", img.Name, name)
+	}
+	return pc, nil
+}
+
+const imageMagic = "GIR1"
+
+// Encode serialises the image (without the signature) in the canonical
+// form used both for file I/O and as the signing payload.
+func (img *Image) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteString(imageMagic)
+	writeString := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		b.Write(n[:])
+		b.WriteString(s)
+	}
+	writeU32 := func(v uint32) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], v)
+		b.Write(n[:])
+	}
+	writeI64 := func(v int64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(v))
+		b.Write(n[:])
+	}
+	writeString(img.Name)
+	if img.Safe {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	writeU32(uint32(len(img.Code)))
+	for _, ins := range img.Code {
+		b.WriteByte(byte(ins.Op))
+		b.WriteByte(ins.Rd)
+		b.WriteByte(ins.Rs1)
+		b.WriteByte(ins.Rs2)
+		writeI64(ins.Imm)
+	}
+	writeU32(uint32(len(img.Data)))
+	b.Write(img.Data)
+	writeU32(uint32(len(img.Symbols)))
+	for _, s := range img.Symbols {
+		writeString(s)
+	}
+	names := make([]string, 0, len(img.Funcs))
+	for n := range img.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeU32(uint32(len(names)))
+	for _, n := range names {
+		writeString(n)
+		writeU32(uint32(img.Funcs[n]))
+	}
+	writeU32(uint32(len(img.CallTargets)))
+	for _, t := range img.CallTargets {
+		writeU32(uint32(t))
+	}
+	return b.Bytes()
+}
+
+// EncodeSigned serialises the image followed by its signature, the
+// on-disk format produced by cmd/misfit.
+func (img *Image) EncodeSigned() []byte {
+	body := img.Encode()
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(img.Sig)))
+	return append(append(body, n[:]...), img.Sig...)
+}
+
+// errTruncated reports a short image file.
+var errTruncated = errors.New("sfi: truncated image")
+
+// Decode parses a canonical image encoding (as produced by Encode,
+// without signature).
+func Decode(data []byte) (*Image, error) {
+	img, rest, err := decodeBody(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("sfi: %d trailing bytes after image", len(rest))
+	}
+	return img, nil
+}
+
+// DecodeSigned parses the signed on-disk format.
+func DecodeSigned(data []byte) (*Image, error) {
+	img, rest, err := decodeBody(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, errTruncated
+	}
+	n := binary.LittleEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if uint32(len(rest)) != n {
+		return nil, fmt.Errorf("sfi: signature length mismatch: header %d, actual %d", n, len(rest))
+	}
+	img.Sig = append([]byte(nil), rest...)
+	return img, nil
+}
+
+func decodeBody(data []byte) (*Image, []byte, error) {
+	r := &reader{data: data}
+	if string(r.bytes(4)) != imageMagic {
+		return nil, nil, errors.New("sfi: bad image magic")
+	}
+	img := &Image{Funcs: make(map[string]int)}
+	img.Name = r.str()
+	img.Safe = r.byte() != 0
+	nCode := r.u32()
+	if r.err == nil && int(nCode) > len(data)/12 {
+		return nil, nil, fmt.Errorf("sfi: implausible code length %d", nCode)
+	}
+	for i := 0; i < int(nCode) && r.err == nil; i++ {
+		var ins Instr
+		ins.Op = Op(r.byte())
+		ins.Rd = r.byte()
+		ins.Rs1 = r.byte()
+		ins.Rs2 = r.byte()
+		ins.Imm = r.i64()
+		img.Code = append(img.Code, ins)
+	}
+	nData := r.u32()
+	if r.err == nil && int(nData) > len(data) {
+		return nil, nil, fmt.Errorf("sfi: implausible data length %d", nData)
+	}
+	img.Data = append([]byte(nil), r.bytes(int(nData))...)
+	nSym := r.u32()
+	for i := 0; i < int(nSym) && r.err == nil; i++ {
+		img.Symbols = append(img.Symbols, r.str())
+	}
+	nFuncs := r.u32()
+	for i := 0; i < int(nFuncs) && r.err == nil; i++ {
+		name := r.str()
+		pc := r.u32()
+		img.Funcs[name] = int(pc)
+	}
+	nTargets := r.u32()
+	for i := 0; i < int(nTargets) && r.err == nil; i++ {
+		img.CallTargets = append(img.CallTargets, int(r.u32()))
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return img, r.data[r.off:], nil
+}
+
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || r.off+n > len(r.data) {
+		if r.err == nil {
+			r.err = errTruncated
+		}
+		return make([]byte, n)
+	}
+	out := r.data[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) byte() byte  { return r.bytes(1)[0] }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *reader) i64() int64  { return int64(binary.LittleEndian.Uint64(r.bytes(8))) }
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err == nil && int(n) > len(r.data)-r.off {
+		r.err = errTruncated
+		return ""
+	}
+	return string(r.bytes(int(n)))
+}
+
+// Signer produces and checks toolchain signatures. The paper uses a
+// cryptographic digital signature computed by MiSFIT and verified by the
+// kernel loader; we model it as an HMAC-SHA256 under a key shared
+// between the trusted toolchain and the kernel.
+type Signer struct {
+	key []byte
+}
+
+// NewSigner creates a signer with the given key.
+func NewSigner(key []byte) *Signer {
+	return &Signer{key: append([]byte(nil), key...)}
+}
+
+// Sign stores the signature for the image's current contents.
+func (s *Signer) Sign(img *Image) {
+	img.Sig = s.mac(img)
+}
+
+// Verify reports whether the image's signature matches its contents
+// under this signer's key.
+func (s *Signer) Verify(img *Image) bool {
+	return len(img.Sig) > 0 && hmac.Equal(img.Sig, s.mac(img))
+}
+
+func (s *Signer) mac(img *Image) []byte {
+	m := hmac.New(sha256.New, s.key)
+	m.Write(img.Encode())
+	return m.Sum(nil)
+}

@@ -1,0 +1,231 @@
+// Package sfi is the software-fault-isolation substrate: the analog of
+// the paper's MiSFIT tool (§3.3) and the runtime that executes protected
+// graft code.
+//
+// The paper's grafts are x86 object code rewritten by MiSFIT so that
+// every load and store is forced into the graft's memory region (2–5
+// cycles per access) and every indirect call is checked against a hash
+// table of valid targets (10–15 cycles per call), then digitally signed
+// so the kernel loader accepts only processed code. Reproducing that
+// requires running rewritten machine code in supervisor mode, which a Go
+// process cannot do; instead this package defines GIR — a small
+// register-machine instruction set — with the same toolchain shape:
+//
+//   - an assembler (asm.go) and disassembler (disasm.go),
+//   - a rewriter (rewrite.go) that inserts explicit SANDBOX masking
+//     instructions before every memory access and CHKCALL probes before
+//     every indirect call, remapping branch targets,
+//   - a structural verifier (verify.go),
+//   - an HMAC-SHA256 signer over the canonical image encoding
+//     (image.go), playing the role of MiSFIT's code signature,
+//   - an interpreter (vm.go) with a per-instruction cycle cost model, a
+//     preemption hook, and a two-mode memory system: unsafe images can
+//     scribble over the surrounding simulated kernel memory (the
+//     disaster the paper is about), while rewritten images physically
+//     cannot escape their segment.
+//
+// The SFI cost structure therefore matches the paper's in kind: overhead
+// proportional to load/store density, worst for copy/encrypt-style
+// stream grafts, negligible for control-dominated grafts.
+package sfi
+
+import "fmt"
+
+// Op is a GIR opcode.
+type Op uint8
+
+// GIR instruction opcodes.
+const (
+	NOP   Op = iota
+	MOVI     // rd <- imm
+	MOV      // rd <- rs1
+	ADD      // rd <- rs1 + rs2
+	SUB      // rd <- rs1 - rs2
+	MUL      // rd <- rs1 * rs2
+	DIV      // rd <- rs1 / rs2 (traps on zero)
+	MOD      // rd <- rs1 % rs2 (traps on zero)
+	AND      // rd <- rs1 & rs2
+	OR       // rd <- rs1 | rs2
+	XOR      // rd <- rs1 ^ rs2
+	SHL      // rd <- rs1 << (rs2 & 63)
+	SHR      // rd <- int64(uint64(rs1) >> (rs2 & 63))
+	ADDI     // rd <- rs1 + imm
+	ANDI     // rd <- rs1 & imm
+	CMPEQ    // rd <- rs1 == rs2 ? 1 : 0
+	CMPLT    // rd <- rs1 < rs2 ? 1 : 0 (signed)
+	CMPLE    // rd <- rs1 <= rs2 ? 1 : 0 (signed)
+	JMP      // pc <- imm
+	JZ       // if rs1 == 0: pc <- imm
+	JNZ      // if rs1 != 0: pc <- imm
+	LD       // rd <- mem64[rs1 + imm]
+	LDB      // rd <- mem8[rs1 + imm] (zero-extended)
+	ST       // mem64[rs1 + imm] <- rs2
+	STB      // mem8[rs1 + imm] <- low byte of rs2
+	PUSH     // sp -= 8; mem64[sp] <- rs1
+	POP      // rd <- mem64[sp]; sp += 8
+	CALL     // shadow-push pc+1; pc <- imm (graft-internal)
+	CALLR    // shadow-push pc+1; pc <- rs1 (indirect, SFI-checked)
+	CALLK    // r0 <- kernel[imm](r1..r5) (graft-callable function)
+	RET      // pc <- shadow-pop; empty stack returns from entry
+	HALT     // stop; result in r0
+	LEA      // rd <- imm, where imm is a code address (remapped by the rewriter)
+	// SFI pseudo-instructions, inserted by the rewriter. Hand-written
+	// code may also use them, but only the rewriter's placement is
+	// certified by the verifier.
+	SANDBOX // rd <- segBase | (rd & (segSize-1))
+	CHKCALL // trap unless rs1 is a registered indirect-call target
+	opCount
+)
+
+var opNames = [...]string{
+	NOP: "nop", MOVI: "movi", MOV: "mov", ADD: "add", SUB: "sub",
+	MUL: "mul", DIV: "div", MOD: "mod", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", ADDI: "addi", ANDI: "andi", CMPEQ: "cmpeq",
+	CMPLT: "cmplt", CMPLE: "cmple", JMP: "jmp", JZ: "jz", JNZ: "jnz",
+	LD: "ld", LDB: "ldb", ST: "st", STB: "stb", PUSH: "push", POP: "pop",
+	CALL: "call", CALLR: "callr", CALLK: "callk", RET: "ret",
+	HALT: "halt", LEA: "lea", SANDBOX: "sandbox", CHKCALL: "chkcall",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Register indices with architectural roles.
+const (
+	// NumRegs is the register file size.
+	NumRegs = 16
+	// RegScratch0 and RegScratch1 are reserved for the SFI rewriter;
+	// the assembler refuses them in source (names s0/s1 are still
+	// printable by the disassembler).
+	RegScratch0 = 12
+	RegScratch1 = 13
+	// RegSP is the stack pointer.
+	RegSP = 15
+)
+
+// Instr is one GIR instruction. Rd/Rs1/Rs2 are register indices; Imm is
+// the immediate (value, branch target, kernel symbol index, or
+// load/store displacement depending on the opcode).
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int64
+}
+
+func (i Instr) String() string {
+	r := regName
+	switch i.Op {
+	case NOP, RET, HALT:
+		return i.Op.String()
+	case MOVI:
+		return fmt.Sprintf("movi %s, %d", r(i.Rd), i.Imm)
+	case MOV:
+		return fmt.Sprintf("mov %s, %s", r(i.Rd), r(i.Rs1))
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, CMPEQ, CMPLT, CMPLE:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, r(i.Rd), r(i.Rs1), r(i.Rs2))
+	case ADDI, ANDI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, r(i.Rd), r(i.Rs1), i.Imm)
+	case JMP:
+		return fmt.Sprintf("jmp %d", i.Imm)
+	case JZ, JNZ:
+		return fmt.Sprintf("%s %s, %d", i.Op, r(i.Rs1), i.Imm)
+	case LD, LDB:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, r(i.Rd), r(i.Rs1), i.Imm)
+	case ST, STB:
+		return fmt.Sprintf("%s [%s%+d], %s", i.Op, r(i.Rs1), i.Imm, r(i.Rs2))
+	case PUSH:
+		return fmt.Sprintf("push %s", r(i.Rs1))
+	case POP:
+		return fmt.Sprintf("pop %s", r(i.Rd))
+	case CALL:
+		return fmt.Sprintf("call %d", i.Imm)
+	case LEA:
+		return fmt.Sprintf("lea %s, %d", r(i.Rd), i.Imm)
+	case CALLR:
+		return fmt.Sprintf("callr %s", r(i.Rs1))
+	case CALLK:
+		return fmt.Sprintf("callk sym%d", i.Imm)
+	case SANDBOX:
+		return fmt.Sprintf("sandbox %s", r(i.Rd))
+	case CHKCALL:
+		return fmt.Sprintf("chkcall %s", r(i.Rs1))
+	}
+	return fmt.Sprintf("%s rd=%d rs1=%d rs2=%d imm=%d", i.Op, i.Rd, i.Rs1, i.Rs2, i.Imm)
+}
+
+func regName(i uint8) string {
+	switch i {
+	case RegScratch0:
+		return "s0"
+	case RegScratch1:
+		return "s1"
+	case RegSP:
+		return "sp"
+	}
+	return fmt.Sprintf("r%d", i)
+}
+
+// immIsCodeAddr reports whether the instruction's Imm is a code address
+// that the rewriter must remap when it inserts instructions.
+func (i Instr) immIsCodeAddr() bool {
+	switch i.Op {
+	case JMP, JZ, JNZ, CALL, LEA:
+		return true
+	}
+	return false
+}
+
+// readsMem and writesMem classify memory-access instructions for the
+// rewriter and the verifier.
+func (i Instr) accessesMem() bool {
+	switch i.Op {
+	case LD, LDB, ST, STB, PUSH, POP:
+		return true
+	}
+	return false
+}
+
+// Costs is the per-instruction cycle model. Values approximate the
+// paper's 120 MHz Pentium: ordinary ALU ops one cycle, memory ops a few,
+// the sandbox mask 2–5 cycles per protected access, the indirect-call
+// hash probe 10–15 cycles, and a kernel call the ~35-cycle function-call
+// cost from §6.
+type Costs struct {
+	Default int64
+	MulDiv  int64
+	Mem     int64
+	Sandbox int64
+	ChkCall int64
+	Call    int64
+	CallK   int64
+}
+
+// DefaultCosts returns the paper-calibrated cost model.
+func DefaultCosts() Costs {
+	return Costs{Default: 1, MulDiv: 10, Mem: 2, Sandbox: 3, ChkCall: 12, Call: 4, CallK: 35}
+}
+
+// cost returns the cycle cost of executing one instruction.
+func (c Costs) cost(op Op) int64 {
+	switch op {
+	case MUL, DIV, MOD:
+		return c.MulDiv
+	case LD, LDB, ST, STB, PUSH, POP:
+		return c.Mem
+	case SANDBOX:
+		return c.Sandbox
+	case CHKCALL:
+		return c.ChkCall
+	case CALL, CALLR, RET:
+		return c.Call
+	case CALLK:
+		return c.CallK
+	}
+	return c.Default
+}

@@ -1,0 +1,154 @@
+package sfi
+
+import "fmt"
+
+// RewriteStats reports what the SFI rewriter did to an image.
+type RewriteStats struct {
+	MemOpsProtected   int
+	IndirectProtected int
+	InstrsAdded       int
+	// StaticallySafe counts memory accesses whose checks the optimizer
+	// discharged at rewrite time (see static.go).
+	StaticallySafe int
+}
+
+// RewriteOptions selects rewriter behaviour.
+type RewriteOptions struct {
+	// StaticDischarge enables the optimizer: accesses whose addresses
+	// are provably inside the segment keep their original form with no
+	// masking instructions. The verifier independently re-proves each
+	// discharged access, so enabling this never weakens the loader's
+	// guarantees.
+	StaticDischarge bool
+}
+
+// Rewrite is the MiSFIT pass: it returns a copy of the image in which
+// every memory access is preceded by an explicit SANDBOX mask of the
+// effective address and every indirect call by a CHKCALL probe of the
+// call-target table. Branch targets, LEA immediates, entry points and
+// the call-target list are remapped around the inserted instructions.
+//
+// The transformations, mirroring §3.3's "code is added to force the
+// target address to fall within the range of memory allocated to the
+// graft":
+//
+//	ld  rd, [rs+off]  =>  addi s0, rs, off; sandbox s0; ld  rd, [s0]
+//	st  [rs+off], r   =>  addi s0, rs, off; sandbox s0; st  [s0], r
+//	push r            =>  addi sp, sp, -8;  sandbox sp; st  [sp], r
+//	pop  rd           =>  sandbox sp; ld rd, [sp]; addi sp, sp, 8
+//	callr r           =>  chkcall r; callr r
+//
+// The cost is 2 extra instructions (a few cycles) per load or store and
+// one hash probe per indirect call — the same overhead structure the
+// paper measures. The rewritten image is marked Safe; its signature is
+// cleared and must be re-issued by the toolchain signer.
+func Rewrite(img *Image) (*Image, RewriteStats, error) {
+	return RewriteWith(img, RewriteOptions{})
+}
+
+// RewriteOptimized is Rewrite with the static-discharge optimizer on.
+func RewriteOptimized(img *Image) (*Image, RewriteStats, error) {
+	return RewriteWith(img, RewriteOptions{StaticDischarge: true})
+}
+
+// RewriteWith is the MiSFIT pass with explicit options.
+func RewriteWith(img *Image, opts RewriteOptions) (*Image, RewriteStats, error) {
+	var stats RewriteStats
+	out := img.Clone()
+	out.Sig = nil
+
+	// The optimizer's analysis over the original code: which accesses
+	// are provably in-segment.
+	safeAt := make(map[int]bool)
+	if opts.StaticDischarge {
+		staticEval(img, func(pc int, ins Instr, ok bool) {
+			if ok {
+				safeAt[pc] = true
+			}
+		})
+	}
+
+	oldLen := len(img.Code)
+	newPC := make([]int, oldLen+1)
+	var code []Instr
+	for pc, ins := range img.Code {
+		newPC[pc] = len(code)
+		if safeAt[pc] {
+			// Statically discharged: the access keeps its original form.
+			stats.StaticallySafe++
+			code = append(code, ins)
+			continue
+		}
+		switch ins.Op {
+		case LD, LDB, ST, STB:
+			stats.MemOpsProtected++
+			code = append(code,
+				Instr{Op: ADDI, Rd: RegScratch0, Rs1: ins.Rs1, Imm: ins.Imm},
+				Instr{Op: SANDBOX, Rd: RegScratch0},
+			)
+			prot := ins
+			prot.Rs1 = RegScratch0
+			prot.Imm = 0
+			code = append(code, prot)
+		case PUSH:
+			stats.MemOpsProtected++
+			code = append(code,
+				Instr{Op: ADDI, Rd: RegSP, Rs1: RegSP, Imm: -8},
+				Instr{Op: SANDBOX, Rd: RegSP},
+				Instr{Op: ST, Rs1: RegSP, Rs2: ins.Rs1},
+			)
+		case POP:
+			stats.MemOpsProtected++
+			code = append(code,
+				Instr{Op: SANDBOX, Rd: RegSP},
+				Instr{Op: LD, Rd: ins.Rd, Rs1: RegSP},
+				Instr{Op: ADDI, Rd: RegSP, Rs1: RegSP, Imm: 8},
+			)
+		case CALLR:
+			stats.IndirectProtected++
+			code = append(code,
+				Instr{Op: CHKCALL, Rs1: ins.Rs1},
+				ins,
+			)
+		default:
+			code = append(code, ins)
+		}
+	}
+	newPC[oldLen] = len(code)
+	stats.InstrsAdded = len(code) - oldLen
+
+	remap := func(target int64, what string) (int64, error) {
+		if target < 0 || target > int64(oldLen) {
+			return 0, fmt.Errorf("sfi: rewrite: %s target %d outside code [0,%d]", what, target, oldLen)
+		}
+		return int64(newPC[target]), nil
+	}
+	for i := range code {
+		if code[i].immIsCodeAddr() {
+			t, err := remap(code[i].Imm, code[i].Op.String())
+			if err != nil {
+				return nil, stats, err
+			}
+			code[i].Imm = t
+		}
+	}
+	out.Code = code
+	out.Funcs = make(map[string]int, len(img.Funcs))
+	for name, pc := range img.Funcs {
+		t, err := remap(int64(pc), ".func "+name)
+		if err != nil {
+			return nil, stats, err
+		}
+		out.Funcs[name] = int(t)
+	}
+	out.CallTargets = out.CallTargets[:0]
+	for _, pc := range img.CallTargets {
+		t, err := remap(int64(pc), ".target")
+		if err != nil {
+			return nil, stats, err
+		}
+		out.CallTargets = append(out.CallTargets, int(t))
+	}
+	out.Safe = true
+	return out, stats, nil
+}

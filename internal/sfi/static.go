@@ -1,0 +1,173 @@
+package sfi
+
+// Static discharge of SFI checks.
+//
+// The paper notes the high cost of its unoptimized SFI tool ("this
+// overhead is not surprising, given the lack of optimization in our
+// software fault isolation tool", §4.4). This file implements the
+// classic optimization: a forward dataflow analysis that tracks, per
+// basic block, which registers provably hold "segment base + known
+// constant" values. A load or store whose effective address is provably
+// inside [base, base+MinSegSize-8] needs no run-time mask at all — the
+// check is discharged statically, the way Wahbe et al. discharge checks
+// on dedicated registers.
+//
+// Soundness rests on three facts, all re-checked independently by the
+// verifier (so a hand-crafted "optimized" image cannot cheat):
+//
+//  1. r10 (RegHeapBase) is architecturally set to the segment base on
+//     entry; if the program never writes r10, its value is base+0
+//     everywhere.
+//  2. Only MOV and ADDI propagate the base+const state; every other
+//     write to a register clears it. Offsets are bounded so arithmetic
+//     cannot overflow into validity.
+//  3. At every landing point (branch target, entry point, call target,
+//     return address) the state resets to "unknown except r10", so no
+//     jump can smuggle an unchecked register past its mask. A CALL's
+//     return continues with reset state because the callee may clobber
+//     anything.
+//
+// MinSegSize is the smallest segment a VM may provide, so a statically
+// valid offset is valid in every execution environment.
+
+// MinSegSize is the smallest graft segment NewVM accepts. Static
+// discharge proves addresses within [0, MinSegSize-8].
+const MinSegSize = 4096
+
+// regState is the abstract value of one register: either unknown, or
+// base+delta.
+type regState struct {
+	known bool
+	delta int64
+}
+
+// staticEval runs the dataflow over an image, invoking access(pc, ins,
+// ok) for every memory instruction, where ok reports whether the access
+// is statically in-segment. It returns whether r10 is globally
+// untouched (the precondition for any discharge at all).
+func staticEval(img *Image, access func(pc int, ins Instr, ok bool)) bool {
+	baseStable := true
+	for _, ins := range img.Code {
+		if writesReg(ins, RegHeapBase) {
+			baseStable = false
+			break
+		}
+	}
+	landing := landingPoints(img)
+	var st [NumRegs]regState
+	reset := func() {
+		st = [NumRegs]regState{}
+		if baseStable {
+			st[RegHeapBase] = regState{known: true, delta: 0}
+		}
+	}
+	reset()
+	for pc, ins := range img.Code {
+		if landing[pc] {
+			reset()
+		}
+		// Classify the access before applying the instruction's own
+		// register effects (the address is read first).
+		if access != nil {
+			switch ins.Op {
+			case LD, LDB, ST, STB:
+				s := st[ins.Rs1]
+				off := s.delta + ins.Imm
+				width := int64(8)
+				if ins.Op == LDB || ins.Op == STB {
+					width = 1
+				}
+				ok := baseStable && s.known &&
+					s.delta >= -maxDelta && s.delta <= maxDelta &&
+					off >= 0 && off+width <= MinSegSize
+				access(pc, ins, ok)
+			case PUSH, POP:
+				access(pc, ins, false) // sp is never statically tracked
+			}
+		}
+		applyEffect(&st, ins)
+		// Control transfers invalidate everything: the next instruction
+		// is reached either by fall-through from elsewhere (CALL/CALLR
+		// return with arbitrary callee effects) or is itself a landing
+		// point.
+		switch ins.Op {
+		case CALL, CALLR, CALLK, JMP, RET, HALT:
+			reset()
+		}
+	}
+	return baseStable
+}
+
+// maxDelta bounds tracked deltas so repeated ADDI cannot approach
+// overflow.
+const maxDelta = 1 << 30
+
+// applyEffect updates the abstract state for one instruction.
+func applyEffect(st *[NumRegs]regState, ins Instr) {
+	switch ins.Op {
+	case MOV:
+		st[ins.Rd] = st[ins.Rs1]
+	case ADDI:
+		s := st[ins.Rs1]
+		if s.known && ins.Imm >= -maxDelta && ins.Imm <= maxDelta &&
+			s.delta+ins.Imm >= -maxDelta && s.delta+ins.Imm <= maxDelta {
+			st[ins.Rd] = regState{known: true, delta: s.delta + ins.Imm}
+		} else {
+			st[ins.Rd] = regState{}
+		}
+	case SANDBOX:
+		// A masked register is in-segment but at an unknown offset;
+		// that helps the masked-access verifier, not static discharge.
+		st[ins.Rd] = regState{}
+	default:
+		if d, ok := destReg(ins); ok {
+			st[d] = regState{}
+		}
+	}
+}
+
+// destReg reports the register an instruction writes, if any.
+func destReg(ins Instr) (uint8, bool) {
+	switch ins.Op {
+	case MOVI, LEA, MOV, ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR,
+		ADDI, ANDI, CMPEQ, CMPLT, CMPLE, LD, LDB, POP, SANDBOX:
+		return ins.Rd, true
+	case CALLK:
+		return 0, true // result register r0
+	case PUSH:
+		return RegSP, true
+	}
+	return 0, false
+}
+
+// writesReg reports whether ins writes reg (PUSH/POP also move sp).
+func writesReg(ins Instr, reg uint8) bool {
+	if d, ok := destReg(ins); ok && d == reg {
+		return true
+	}
+	if (ins.Op == PUSH || ins.Op == POP) && reg == RegSP {
+		return true
+	}
+	return false
+}
+
+// landingPoints collects every address control flow can reach other
+// than by linear fall-through.
+func landingPoints(img *Image) map[int]bool {
+	landing := make(map[int]bool)
+	for _, pc := range img.CallTargets {
+		landing[pc] = true
+	}
+	for _, pc := range img.Funcs {
+		landing[pc] = true
+	}
+	for pc, ins := range img.Code {
+		if ins.immIsCodeAddr() && ins.Op != LEA {
+			landing[int(ins.Imm)] = true
+		}
+		if ins.Op == CALL || ins.Op == CALLR {
+			landing[pc+1] = true
+		}
+	}
+	return landing
+}

@@ -1,0 +1,53 @@
+package sfi
+
+import "fmt"
+
+// BuildSafe runs the full trusted toolchain on assembly source: assemble,
+// structurally verify, SFI-rewrite, verify the rewritten image's safety
+// invariants, and sign. The result is the only kind of image the kernel
+// loader accepts.
+func BuildSafe(src string, signer *Signer) (*Image, RewriteStats, error) {
+	return buildSafe(src, signer, RewriteOptions{})
+}
+
+// BuildSafeOptimized is BuildSafe with the static-discharge optimizer
+// enabled: provably in-segment accesses carry no run-time checks.
+func BuildSafeOptimized(src string, signer *Signer) (*Image, RewriteStats, error) {
+	return buildSafe(src, signer, RewriteOptions{StaticDischarge: true})
+}
+
+func buildSafe(src string, signer *Signer, opts RewriteOptions) (*Image, RewriteStats, error) {
+	img, err := Assemble(src)
+	if err != nil {
+		return nil, RewriteStats{}, err
+	}
+	if err := Verify(img); err != nil {
+		return nil, RewriteStats{}, fmt.Errorf("pre-rewrite: %w", err)
+	}
+	safe, stats, err := RewriteWith(img, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := Verify(safe); err != nil {
+		return nil, stats, fmt.Errorf("post-rewrite (toolchain bug): %w", err)
+	}
+	if signer != nil {
+		signer.Sign(safe)
+	}
+	return safe, stats, nil
+}
+
+// BuildUnsafe assembles and verifies source without SFI protection or a
+// signature. Such images are rejected by the kernel loader; they exist
+// for the measurement harness's "unsafe path" (Table 2) and for the
+// misbehavior demonstrations.
+func BuildUnsafe(src string) (*Image, error) {
+	img, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Verify(img); err != nil {
+		return nil, err
+	}
+	return img, nil
+}

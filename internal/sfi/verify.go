@@ -1,0 +1,154 @@
+package sfi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Verify performs the structural checks the kernel loader applies before
+// accepting an image. For every image it checks that control-flow
+// targets, entry points, call targets and kernel-symbol indices are
+// within range and that register fields are valid.
+//
+// For an image claiming Safe (i.e. "processed by MiSFIT") it
+// additionally certifies the SFI invariants the rewriter establishes:
+//
+//   - every LD/LDB/ST/STB addresses through a register that was
+//     SANDBOX-masked by the immediately preceding instruction, with a
+//     zero displacement (so the masked value is the accessed address);
+//   - PUSH and POP do not appear (the rewriter expands them);
+//   - every CALLR is immediately preceded by a CHKCALL of the same
+//     register;
+//   - no branch target, entry point or call target lands *between* a
+//     check and its protected instruction, so the check cannot be
+//     bypassed by a jump.
+//
+// Together with the signature this realises the paper's rule 6: "the
+// kernel must not execute grafts that are not known to be safe."
+func Verify(img *Image) error {
+	n := len(img.Code)
+	for pc, ins := range img.Code {
+		if ins.Rd >= NumRegs || ins.Rs1 >= NumRegs || ins.Rs2 >= NumRegs {
+			return fmt.Errorf("sfi: verify: pc=%d: register out of range", pc)
+		}
+		if ins.Op >= opCount {
+			return fmt.Errorf("sfi: verify: pc=%d: illegal opcode %d", pc, ins.Op)
+		}
+		if ins.immIsCodeAddr() {
+			if ins.Imm < 0 || ins.Imm >= int64(n) {
+				return fmt.Errorf("sfi: verify: pc=%d: %s target %d outside code", pc, ins.Op, ins.Imm)
+			}
+		}
+		if ins.Op == CALLK {
+			if ins.Imm < 0 || ins.Imm >= int64(len(img.Symbols)) {
+				return fmt.Errorf("sfi: verify: pc=%d: callk symbol index %d outside symbol table", pc, ins.Imm)
+			}
+		}
+	}
+	for name, pc := range img.Funcs {
+		if pc < 0 || pc >= n {
+			return fmt.Errorf("sfi: verify: entry %q at %d outside code", name, pc)
+		}
+	}
+	for _, pc := range img.CallTargets {
+		if pc < 0 || pc >= n {
+			return fmt.Errorf("sfi: verify: call target %d outside code", pc)
+		}
+	}
+	if !img.Safe {
+		return nil
+	}
+	return verifySafe(img)
+}
+
+func verifySafe(img *Image) error {
+	// Landing points: every address control flow can reach other than
+	// by falling through. LEA destinations are indirect-call candidates
+	// and are landing points only if registered as call targets, which
+	// landingPoints covers.
+	landing := landingPoints(img)
+	// The optimizer's claim, re-proven here: accesses whose addresses
+	// are statically in-segment need no mask. A forged image marking an
+	// unsafe access as "discharged" simply fails this analysis.
+	staticOK := make(map[int]bool)
+	staticEval(img, func(pc int, ins Instr, ok bool) {
+		if ok {
+			staticOK[pc] = true
+		}
+	})
+	for pc, ins := range img.Code {
+		switch ins.Op {
+		case PUSH, POP:
+			return fmt.Errorf("sfi: verify: pc=%d: raw %s in safe image (rewriter expands these)", pc, ins.Op)
+		case LD, LDB, ST, STB:
+			if staticOK[pc] {
+				continue // provably in-segment without a mask
+			}
+			addrReg := ins.Rs1
+			if ins.Imm != 0 {
+				return fmt.Errorf("sfi: verify: pc=%d: protected %s must use zero displacement", pc, ins.Op)
+			}
+			if pc == 0 {
+				return fmt.Errorf("sfi: verify: pc=0: memory access with no preceding sandbox")
+			}
+			prev := img.Code[pc-1]
+			if prev.Op != SANDBOX || prev.Rd != addrReg {
+				return fmt.Errorf("sfi: verify: pc=%d: %s not preceded by sandbox of %s", pc, ins.Op, regName(addrReg))
+			}
+			if landing[pc] {
+				return fmt.Errorf("sfi: verify: pc=%d: jump target lands on protected %s, bypassing its sandbox", pc, ins.Op)
+			}
+		case CALLR:
+			if pc == 0 {
+				return fmt.Errorf("sfi: verify: pc=0: indirect call with no preceding chkcall")
+			}
+			prev := img.Code[pc-1]
+			if prev.Op != CHKCALL || prev.Rs1 != ins.Rs1 {
+				return fmt.Errorf("sfi: verify: pc=%d: callr not preceded by chkcall of %s", pc, regName(ins.Rs1))
+			}
+			if landing[pc] {
+				return fmt.Errorf("sfi: verify: pc=%d: jump target lands on callr, bypassing its chkcall", pc)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders an image as readable assembly with addresses,
+// entry-point markers and call-target annotations.
+func Disassemble(img *Image) string {
+	type mark struct {
+		name  string
+		entry bool
+	}
+	marks := make(map[int][]mark)
+	names := make([]string, 0, len(img.Funcs))
+	for name := range img.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pc := img.Funcs[name]
+		marks[pc] = append(marks[pc], mark{name: name, entry: true})
+	}
+	targets := make(map[int]bool)
+	for _, pc := range img.CallTargets {
+		targets[pc] = true
+	}
+	out := fmt.Sprintf("; image %q  safe=%v  code=%d data=%dB symbols=%d\n",
+		img.Name, img.Safe, len(img.Code), len(img.Data), len(img.Symbols))
+	for i, sym := range img.Symbols {
+		out += fmt.Sprintf("; sym%d = %s\n", i, sym)
+	}
+	for pc, ins := range img.Code {
+		for _, m := range marks[pc] {
+			out += fmt.Sprintf("%s:  ; entry\n", m.name)
+		}
+		t := ""
+		if targets[pc] && len(marks[pc]) == 0 {
+			t = "  ; call target"
+		}
+		out += fmt.Sprintf("%5d:  %s%s\n", pc, ins, t)
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+package sfi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// KernelFunc is a kernel function exposed to grafts via CALLK. Arguments
+// arrive in r1..r5; the result is placed in r0. Returning an error aborts
+// the graft (the kernel wrapper turns it into a transaction abort).
+type KernelFunc func(vm *VM, args [5]int64) (int64, error)
+
+// Violation is an SFI trap: a checked indirect call to an unregistered
+// target, an arithmetic trap, or (for hand-written "safe" code that
+// escaped the verifier) an out-of-range access. The kernel responds by
+// aborting the graft's transaction — the kernel itself survives.
+type Violation struct {
+	PC     int
+	Ins    string
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("sfi: violation at pc=%d (%s): %s", v.PC, v.Ins, v.Detail)
+}
+
+// CrashError is what happens when an *unprotected* graft escapes its
+// segment entirely: in a real kernel a wild supervisor-mode access
+// panics the machine. The simulator surfaces it as this error so
+// experiments can count would-be crashes.
+type CrashError struct {
+	PC     int
+	Ins    string
+	Detail string
+}
+
+func (c *CrashError) Error() string {
+	return fmt.Sprintf("sfi: KERNEL CRASH at pc=%d (%s): %s", c.PC, c.Ins, c.Detail)
+}
+
+// ErrCycleLimit reports that the VM's fuel budget was exhausted.
+var ErrCycleLimit = errors.New("sfi: cycle limit exhausted")
+
+// ABI register assignments: on entry the VM passes the graft its heap
+// base and segment size so position-independent code can find its data.
+const (
+	// RegHeapBase (r10) holds the sandbox segment base address on entry.
+	RegHeapBase = 10
+	// RegHeapSize (r11) holds the segment size on entry.
+	RegHeapSize = 11
+)
+
+// Config parameterises a VM instance.
+type Config struct {
+	// KernelMem is the size in bytes of the simulated kernel memory that
+	// sits below the graft segment in the arena. Unprotected grafts can
+	// scribble on it; SFI-rewritten grafts cannot reach it. Default 64 KiB.
+	KernelMem int
+	// SegSize is the graft segment (heap+stack) size; must be a power of
+	// two. Default 64 KiB.
+	SegSize int
+	// Costs is the cycle model; nil uses DefaultCosts.
+	Costs *Costs
+	// Hook, if set, receives accumulated cycles roughly every HookEvery
+	// cycles and at kernel-call and completion boundaries. The kernel
+	// wires it to Thread.ChargeCycles, which is what makes graft code
+	// preemptible and abortable mid-execution.
+	Hook func(cycles int64)
+	// HookEvery is the flush threshold in cycles. Default 2000.
+	HookEvery int64
+	// MaxCycles, when positive, bounds total execution (fuel).
+	MaxCycles int64
+	// Kernel maps symbol names to implementations; every symbol the
+	// image imports must resolve.
+	Kernel map[string]KernelFunc
+}
+
+// VM executes one graft image inside a private sandbox.
+type VM struct {
+	img     *Image
+	arena   []byte
+	segBase uint64
+	segSize uint64
+	regs    [NumRegs]int64
+	shadow  []int
+	costs   Costs
+	hook    func(int64)
+	hookEvr int64
+	pending int64
+	total   int64
+	steps   int64
+	maxCyc  int64
+	kernel  []KernelFunc
+	table   *CallTable
+}
+
+// NewVM prepares a VM for the image. The image's initial data is copied
+// to the bottom of the segment; kernel memory below the segment is
+// zeroed (the kernel may seed it via KernelMemory for experiments).
+func NewVM(img *Image, cfg Config) (*VM, error) {
+	if cfg.SegSize == 0 {
+		cfg.SegSize = 64 << 10
+	}
+	if cfg.SegSize&(cfg.SegSize-1) != 0 {
+		return nil, fmt.Errorf("sfi: segment size %d not a power of two", cfg.SegSize)
+	}
+	if cfg.SegSize < MinSegSize {
+		// Static discharge proves addresses against MinSegSize; smaller
+		// segments would turn those proofs into lies.
+		return nil, fmt.Errorf("sfi: segment size %d below the %d-byte architectural minimum", cfg.SegSize, MinSegSize)
+	}
+	if cfg.KernelMem == 0 {
+		cfg.KernelMem = 64 << 10
+	}
+	if len(img.Data) > cfg.SegSize {
+		return nil, fmt.Errorf("sfi: image data (%d bytes) exceeds segment (%d)", len(img.Data), cfg.SegSize)
+	}
+	if cfg.HookEvery <= 0 {
+		cfg.HookEvery = 2000
+	}
+	// The sandbox mask computes segBase | (addr & (segSize-1)), which
+	// requires the base to be segment-aligned.
+	segBase := (uint64(cfg.KernelMem) + uint64(cfg.SegSize) - 1) &^ (uint64(cfg.SegSize) - 1)
+	vm := &VM{
+		img:     img,
+		arena:   make([]byte, segBase+uint64(cfg.SegSize)),
+		segBase: segBase,
+		segSize: uint64(cfg.SegSize),
+		costs:   DefaultCosts(),
+		hook:    cfg.Hook,
+		hookEvr: cfg.HookEvery,
+		maxCyc:  cfg.MaxCycles,
+		table:   NewCallTable(img.CallTargets),
+	}
+	if cfg.Costs != nil {
+		vm.costs = *cfg.Costs
+	}
+	copy(vm.arena[segBase:], img.Data)
+	vm.kernel = make([]KernelFunc, len(img.Symbols))
+	for i, sym := range img.Symbols {
+		fn, ok := cfg.Kernel[sym]
+		if !ok {
+			return nil, fmt.Errorf("sfi: unresolved kernel symbol %q", sym)
+		}
+		vm.kernel[i] = fn
+	}
+	return vm, nil
+}
+
+// Image returns the image the VM executes.
+func (vm *VM) Image() *Image { return vm.img }
+
+// HeapBase returns the sandbox segment base address.
+func (vm *VM) HeapBase() uint64 { return vm.segBase }
+
+// HeapSize returns the sandbox segment size.
+func (vm *VM) HeapSize() uint64 { return vm.segSize }
+
+// Heap exposes the graft's segment for the kernel to seed inputs and
+// read results (the simulated shared buffer of §4.1.2).
+func (vm *VM) Heap() []byte { return vm.arena[vm.segBase:] }
+
+// KernelMemory exposes the simulated kernel memory below the segment.
+// Experiments seed it with sentinel bytes to detect stray writes from
+// unprotected grafts.
+func (vm *VM) KernelMemory() []byte { return vm.arena[:vm.segBase] }
+
+// TotalCycles returns the cycles consumed so far.
+func (vm *VM) TotalCycles() int64 { return vm.total }
+
+// Steps returns the number of instructions executed.
+func (vm *VM) Steps() int64 { return vm.steps }
+
+// CallTable returns the indirect-call target table (for probe stats).
+func (vm *VM) CallTable() *CallTable { return vm.table }
+
+// Reg returns a register value (for tests and kernel functions).
+func (vm *VM) Reg(i int) int64 { return vm.regs[i] }
+
+// SetReg sets a register value (for kernel functions that return data
+// through registers).
+func (vm *VM) SetReg(i int, v int64) { vm.regs[i] = v }
+
+func (vm *VM) charge(c int64) {
+	vm.pending += c
+	vm.total += c
+	if vm.pending >= vm.hookEvr {
+		vm.flush()
+	}
+}
+
+func (vm *VM) flush() {
+	if vm.hook != nil && vm.pending > 0 {
+		p := vm.pending
+		vm.pending = 0
+		vm.hook(p) // may panic with sched.Abort: preemption/abort point
+		return
+	}
+	vm.pending = 0
+}
+
+// Call runs the named entry point with up to five arguments and returns
+// r0. Execution charges cycles to the hook, making the graft preemptible
+// and abortable; asynchronous aborts propagate as panics from the hook
+// through Call to the transaction wrapper.
+func (vm *VM) Call(entry string, args ...int64) (int64, error) {
+	pc, err := vm.img.Entry(entry)
+	if err != nil {
+		return 0, err
+	}
+	if len(args) > 5 {
+		return 0, fmt.Errorf("sfi: at most 5 arguments, got %d", len(args))
+	}
+	vm.regs = [NumRegs]int64{}
+	for i, a := range args {
+		vm.regs[1+i] = a
+	}
+	vm.regs[RegHeapBase] = int64(vm.segBase)
+	vm.regs[RegHeapSize] = int64(vm.segSize)
+	vm.regs[RegSP] = int64(vm.segBase + vm.segSize)
+	vm.shadow = vm.shadow[:0]
+	defer vm.flush()
+	if err := vm.run(pc); err != nil {
+		return 0, err
+	}
+	return vm.regs[0], nil
+}
+
+func (vm *VM) memErr(pc int, ins Instr, addr int64, n int) error {
+	detail := fmt.Sprintf("access of %d bytes at address %d outside arena [0,%d)", n, addr, len(vm.arena))
+	if vm.img.Safe {
+		return &Violation{PC: pc, Ins: ins.String(), Detail: detail}
+	}
+	return &CrashError{PC: pc, Ins: ins.String(), Detail: detail}
+}
+
+func (vm *VM) load(pc int, ins Instr, addr int64, n int) (int64, error) {
+	if addr < 0 || addr+int64(n) > int64(len(vm.arena)) {
+		return 0, vm.memErr(pc, ins, addr, n)
+	}
+	var v int64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | int64(vm.arena[addr+int64(i)])
+	}
+	return v, nil
+}
+
+func (vm *VM) store(pc int, ins Instr, addr int64, n int, v int64) error {
+	if addr < 0 || addr+int64(n) > int64(len(vm.arena)) {
+		return vm.memErr(pc, ins, addr, n)
+	}
+	for i := 0; i < n; i++ {
+		vm.arena[addr+int64(i)] = byte(uint64(v) >> (8 * i))
+	}
+	return nil
+}
+
+const maxShadowDepth = 1024
+
+func (vm *VM) run(pc int) error {
+	code := vm.img.Code
+	for {
+		if pc < 0 || pc >= len(code) {
+			if vm.img.Safe {
+				return &Violation{PC: pc, Ins: "?", Detail: "control flow left the code segment"}
+			}
+			return &CrashError{PC: pc, Ins: "?", Detail: "control flow left the code segment"}
+		}
+		ins := code[pc]
+		vm.steps++
+		vm.charge(vm.costs.cost(ins.Op))
+		if vm.maxCyc > 0 && vm.total > vm.maxCyc {
+			return fmt.Errorf("%w: %d cycles", ErrCycleLimit, vm.total)
+		}
+		r := &vm.regs
+		switch ins.Op {
+		case NOP:
+		case MOVI, LEA:
+			r[ins.Rd] = ins.Imm
+		case MOV:
+			r[ins.Rd] = r[ins.Rs1]
+		case ADD:
+			r[ins.Rd] = r[ins.Rs1] + r[ins.Rs2]
+		case SUB:
+			r[ins.Rd] = r[ins.Rs1] - r[ins.Rs2]
+		case MUL:
+			r[ins.Rd] = r[ins.Rs1] * r[ins.Rs2]
+		case DIV:
+			if r[ins.Rs2] == 0 {
+				return &Violation{PC: pc, Ins: ins.String(), Detail: "division by zero"}
+			}
+			r[ins.Rd] = r[ins.Rs1] / r[ins.Rs2]
+		case MOD:
+			if r[ins.Rs2] == 0 {
+				return &Violation{PC: pc, Ins: ins.String(), Detail: "division by zero"}
+			}
+			r[ins.Rd] = r[ins.Rs1] % r[ins.Rs2]
+		case AND:
+			r[ins.Rd] = r[ins.Rs1] & r[ins.Rs2]
+		case OR:
+			r[ins.Rd] = r[ins.Rs1] | r[ins.Rs2]
+		case XOR:
+			r[ins.Rd] = r[ins.Rs1] ^ r[ins.Rs2]
+		case SHL:
+			r[ins.Rd] = r[ins.Rs1] << (uint64(r[ins.Rs2]) & 63)
+		case SHR:
+			r[ins.Rd] = int64(uint64(r[ins.Rs1]) >> (uint64(r[ins.Rs2]) & 63))
+		case ADDI:
+			r[ins.Rd] = r[ins.Rs1] + ins.Imm
+		case ANDI:
+			r[ins.Rd] = r[ins.Rs1] & ins.Imm
+		case CMPEQ:
+			r[ins.Rd] = b2i(r[ins.Rs1] == r[ins.Rs2])
+		case CMPLT:
+			r[ins.Rd] = b2i(r[ins.Rs1] < r[ins.Rs2])
+		case CMPLE:
+			r[ins.Rd] = b2i(r[ins.Rs1] <= r[ins.Rs2])
+		case JMP:
+			pc = int(ins.Imm)
+			continue
+		case JZ:
+			if r[ins.Rs1] == 0 {
+				pc = int(ins.Imm)
+				continue
+			}
+		case JNZ:
+			if r[ins.Rs1] != 0 {
+				pc = int(ins.Imm)
+				continue
+			}
+		case LD:
+			v, err := vm.load(pc, ins, r[ins.Rs1]+ins.Imm, 8)
+			if err != nil {
+				return err
+			}
+			r[ins.Rd] = v
+		case LDB:
+			v, err := vm.load(pc, ins, r[ins.Rs1]+ins.Imm, 1)
+			if err != nil {
+				return err
+			}
+			r[ins.Rd] = v
+		case ST:
+			if err := vm.store(pc, ins, r[ins.Rs1]+ins.Imm, 8, r[ins.Rs2]); err != nil {
+				return err
+			}
+		case STB:
+			if err := vm.store(pc, ins, r[ins.Rs1]+ins.Imm, 1, r[ins.Rs2]); err != nil {
+				return err
+			}
+		case PUSH:
+			r[RegSP] -= 8
+			if err := vm.store(pc, ins, r[RegSP], 8, r[ins.Rs1]); err != nil {
+				return err
+			}
+		case POP:
+			v, err := vm.load(pc, ins, r[RegSP], 8)
+			if err != nil {
+				return err
+			}
+			r[ins.Rd] = v
+			r[RegSP] += 8
+		case CALL:
+			if len(vm.shadow) >= maxShadowDepth {
+				return &Violation{PC: pc, Ins: ins.String(), Detail: "call stack overflow"}
+			}
+			vm.shadow = append(vm.shadow, pc+1)
+			pc = int(ins.Imm)
+			continue
+		case CALLR:
+			if len(vm.shadow) >= maxShadowDepth {
+				return &Violation{PC: pc, Ins: ins.String(), Detail: "call stack overflow"}
+			}
+			vm.shadow = append(vm.shadow, pc+1)
+			pc = int(r[ins.Rs1])
+			continue
+		case CALLK:
+			idx := int(ins.Imm)
+			if idx < 0 || idx >= len(vm.kernel) {
+				return &Violation{PC: pc, Ins: ins.String(), Detail: "kernel symbol index out of range"}
+			}
+			vm.flush() // kernel time is accounted separately by the callee
+			var args [5]int64
+			copy(args[:], r[1:6])
+			res, err := vm.kernel[idx](vm, args)
+			if err != nil {
+				return fmt.Errorf("sfi: kernel call %s failed: %w", vm.img.Symbols[idx], err)
+			}
+			r[0] = res
+		case RET:
+			if len(vm.shadow) == 0 {
+				return nil
+			}
+			pc = vm.shadow[len(vm.shadow)-1]
+			vm.shadow = vm.shadow[:len(vm.shadow)-1]
+			continue
+		case HALT:
+			return nil
+		case SANDBOX:
+			r[ins.Rd] = int64(vm.segBase | (uint64(r[ins.Rd]) & (vm.segSize - 1)))
+		case CHKCALL:
+			if !vm.table.Contains(r[ins.Rs1]) {
+				return &Violation{PC: pc, Ins: ins.String(), Detail: fmt.Sprintf("indirect call to unregistered target %d", r[ins.Rs1])}
+			}
+		default:
+			return &Violation{PC: pc, Ins: ins.String(), Detail: "illegal opcode"}
+		}
+		pc++
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,206 @@
+// Package simclock provides the virtual time base for the simulated VINO
+// kernel: a monotonically advancing clock measured in nanoseconds and CPU
+// cycles, plus a pending-event queue (a binary heap keyed by deadline).
+//
+// All kernel components — the scheduler's timeslices, lock contention
+// time-outs, disk latency, and the pageout daemon — run against this clock
+// rather than wall time, so every experiment in the paper reproduces
+// deterministically. The paper's test machine is a 120 MHz Pentium; the
+// default cycle rate matches it so that "cycles" and "microseconds" relate
+// the way they do in the paper's tables.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// DefaultHz is the simulated CPU frequency: 120 MHz, the paper's Pentium.
+const DefaultHz = 120_000_000
+
+// TickInterval is the system clock tick. The paper schedules time-outs on
+// system-clock boundaries that occur every 10 ms (§4.5).
+const TickInterval = 10 * time.Millisecond
+
+// EventID names a scheduled event so it can be cancelled.
+type EventID uint64
+
+// Event is a callback scheduled to run at a virtual deadline.
+type event struct {
+	id       EventID
+	deadline time.Duration // virtual time since boot
+	seq      uint64        // FIFO order among equal deadlines
+	fn       func()
+	index    int // heap index, -1 once popped or cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is the virtual time source. It is not safe for concurrent use; the
+// simulated kernel is single-threaded by construction (one runnable thread
+// at a time, handed off through the scheduler).
+type Clock struct {
+	now     time.Duration
+	hz      int64
+	events  eventHeap
+	nextID  EventID
+	nextSeq uint64
+	byID    map[EventID]*event
+}
+
+// New returns a clock at virtual time zero running at hz cycles per second.
+// If hz <= 0, DefaultHz is used.
+func New(hz int64) *Clock {
+	if hz <= 0 {
+		hz = DefaultHz
+	}
+	return &Clock{hz: hz, byID: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time since boot.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Hz returns the simulated CPU frequency.
+func (c *Clock) Hz() int64 { return c.hz }
+
+// Cycles converts a duration at the clock's frequency into CPU cycles.
+func (c *Clock) Cycles(d time.Duration) int64 {
+	return int64(math.Round(d.Seconds() * float64(c.hz)))
+}
+
+// CycleDuration converts a cycle count into virtual time.
+func (c *Clock) CycleDuration(cycles int64) time.Duration {
+	return time.Duration(float64(cycles) / float64(c.hz) * float64(time.Second))
+}
+
+// Advance moves virtual time forward by d without running events. It is the
+// primitive used by the scheduler when a thread consumes CPU. Advancing
+// past a pending event deadline is allowed; the event fires (late) on the
+// next RunDue call, which matches real kernels where a busy CPU delays
+// softclock processing.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceCycles moves time forward by a cycle count.
+func (c *Clock) AdvanceCycles(cycles int64) { c.Advance(c.CycleDuration(cycles)) }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (c *Clock) At(t time.Duration, fn func()) EventID {
+	if t < c.now {
+		t = c.now
+	}
+	c.nextID++
+	c.nextSeq++
+	e := &event{id: c.nextID, deadline: t, seq: c.nextSeq, fn: fn}
+	heap.Push(&c.events, e)
+	c.byID[e.id] = e
+	return e.id
+}
+
+// After schedules fn to run d from now.
+func (c *Clock) After(d time.Duration, fn func()) EventID {
+	return c.At(c.now+d, fn)
+}
+
+// AtNextTick schedules fn on the next system-clock tick boundary at or
+// after now+d. This reproduces the paper's coarse-grained time-outs: "we
+// currently schedule time-outs on system-clock boundaries, which occur
+// every 10 ms. Therefore, the delay for timing out a transaction will be
+// between 10 and 20 ms" (§4.5).
+func (c *Clock) AtNextTick(d time.Duration, fn func()) EventID {
+	deadline := c.now + d
+	ticks := (deadline + TickInterval - 1) / TickInterval
+	aligned := ticks * TickInterval
+	if aligned <= c.now {
+		aligned += TickInterval
+	}
+	return c.At(aligned, fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if already fired or cancelled).
+func (c *Clock) Cancel(id EventID) bool {
+	e, ok := c.byID[id]
+	if !ok {
+		return false
+	}
+	delete(c.byID, id)
+	if e.index >= 0 {
+		heap.Remove(&c.events, e.index)
+	}
+	return true
+}
+
+// NextDeadline returns the deadline of the earliest pending event, and
+// false if none is pending.
+func (c *Clock) NextDeadline() (time.Duration, bool) {
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	return c.events[0].deadline, true
+}
+
+// RunDue fires every event whose deadline is <= now, in deadline order. It
+// returns the number of events run. Events scheduled by callbacks are
+// honoured if they are also due.
+func (c *Clock) RunDue() int {
+	n := 0
+	for len(c.events) > 0 && c.events[0].deadline <= c.now {
+		e := heap.Pop(&c.events).(*event)
+		delete(c.byID, e.id)
+		n++
+		e.fn()
+	}
+	return n
+}
+
+// AdvanceToNext jumps time to the earliest pending deadline and fires all
+// events due at that instant. It reports whether any event existed. This is
+// the idle path: no thread is runnable, so time leaps to the next interrupt.
+func (c *Clock) AdvanceToNext() bool {
+	if len(c.events) == 0 {
+		return false
+	}
+	d := c.events[0].deadline
+	if d > c.now {
+		c.now = d
+	}
+	c.RunDue()
+	return true
+}
+
+// Pending returns the number of scheduled events.
+func (c *Clock) Pending() int { return len(c.events) }
