@@ -1,0 +1,324 @@
+package vino
+
+import (
+	"time"
+
+	"vino/internal/fault"
+	"vino/internal/graft"
+	"vino/internal/harness"
+	"vino/internal/kernel"
+	"vino/internal/lock"
+	"vino/internal/netstk"
+	"vino/internal/resource"
+	"vino/internal/sched"
+	"vino/internal/sfi"
+	"vino/internal/trace"
+)
+
+// -----------------------------------------------------------------------------
+// Kernel construction: functional options.
+//
+// New is the front door. Options translate into kernel.Config fields, so
+// the zero-option call is equivalent to NewKernel(Config{}):
+//
+//	k := vino.New(
+//		vino.WithTrace(4096),
+//		vino.WithSeed(7),
+//		vino.WithFaultPlan(vino.NewFaultPlan(7, nil, 3)),
+//	)
+// -----------------------------------------------------------------------------
+
+// Option configures a kernel built by New.
+type Option func(*Config)
+
+// New builds a kernel from functional options.
+func New(opts ...Option) *Kernel {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return kernel.New(cfg)
+}
+
+// WithTrace sizes the kernel flight recorder to the given capacity
+// (events retained; Total keeps counting past it).
+func WithTrace(capacity int) Option {
+	return func(c *Config) { c.TraceDepth = capacity }
+}
+
+// WithFaultPlan arms the deterministic fault-injection plane with the
+// given plan. A nil plan leaves every hook inert.
+func WithFaultPlan(plan *FaultPlan) Option {
+	return func(c *Config) { c.FaultPlan = plan }
+}
+
+// WithSeed sets the kernel's deterministic seed, consulted by
+// subsystems that make pseudo-random decisions.
+func WithSeed(n int64) Option {
+	return func(c *Config) { c.Seed = n }
+}
+
+// WithTimeslice overrides the 10 ms scheduling quantum.
+func WithTimeslice(d time.Duration) Option {
+	return func(c *Config) { c.Timeslice = d }
+}
+
+// WithSignKey sets the trust-root key shared between the kernel loader
+// and the graft toolchain.
+func WithSignKey(key []byte) Option {
+	return func(c *Config) { c.SignKey = append([]byte(nil), key...) }
+}
+
+// WithUnsafeGrafts permits Root to install unrewritten images — for
+// measurement harnesses and misbehavior demos only.
+func WithUnsafeGrafts() Option {
+	return func(c *Config) { c.UnsafeGrafts = true }
+}
+
+// -----------------------------------------------------------------------------
+// Toolchain: the trusted graft build pipeline as a value.
+// -----------------------------------------------------------------------------
+
+// Signer holds the shared-secret trust root used to sign and verify
+// graft images. A kernel's loader accepts only images signed by its own
+// Signer (Kernel.Signer).
+type Signer = sfi.Signer
+
+// NewSigner derives a signer from a key.
+func NewSigner(key []byte) *Signer { return sfi.NewSigner(key) }
+
+// BuildOptions selects toolchain stages for one Build call.
+type BuildOptions struct {
+	// Optimize enables static discharge of sandbox checks: accesses the
+	// rewriter can prove in-segment carry no run-time masking (§4.4).
+	// The loader's verifier re-proves every discharged check.
+	Optimize bool
+	// Signer overrides the Toolchain's signer for this build.
+	Signer *Signer
+	// Unsafe skips rewriting and signing entirely, producing an image
+	// only kernels with UnsafeGrafts (or a raw GraftVM) will accept.
+	// Used to demonstrate what SFI prevents.
+	Unsafe bool
+}
+
+// Toolchain is the trusted graft build pipeline: assemble, verify,
+// SFI-rewrite, re-verify, sign. The zero value builds unsigned images;
+// bind it to a kernel with Toolchain{Signer: k.Signer}.
+type Toolchain struct {
+	// Signer signs produced images. Build fails if neither this nor
+	// BuildOptions.Signer is set (except for Unsafe builds).
+	Signer *Signer
+}
+
+// ToolchainFor returns a toolchain whose images the given kernel's
+// loader accepts.
+func ToolchainFor(k *Kernel) Toolchain { return Toolchain{Signer: k.Signer} }
+
+// Build compiles GIR assembly source through the toolchain.
+func (tc Toolchain) Build(src string, opts BuildOptions) (*Image, error) {
+	if opts.Unsafe {
+		return sfi.BuildUnsafe(src)
+	}
+	signer := opts.Signer
+	if signer == nil {
+		signer = tc.Signer
+	}
+	if opts.Optimize {
+		img, _, err := sfi.BuildSafeOptimized(src, signer)
+		return img, err
+	}
+	img, _, err := sfi.BuildSafe(src, signer)
+	return img, err
+}
+
+// GraftVM is the sandboxed interpreter a graft image runs on. Exposed
+// so demos can run an Unsafe image outside any kernel and observe the
+// damage SFI would have prevented.
+type GraftVM = sfi.VM
+
+// NewGraftVM instantiates a VM over an image with default segment
+// sizes and cost model.
+func NewGraftVM(img *Image) (*GraftVM, error) { return sfi.NewVM(img, sfi.Config{}) }
+
+// Instruction is one decoded GIR instruction (Image.Code element).
+type Instruction = sfi.Instr
+
+// -----------------------------------------------------------------------------
+// Graft model re-exports.
+// -----------------------------------------------------------------------------
+
+// Ctx is the kernel-side context passed to graft-callable functions.
+type Ctx = graft.Ctx
+
+// Thread is a simulated kernel thread.
+type Thread = sched.Thread
+
+// Point kinds.
+const (
+	// Function points replace one member function; at most one graft.
+	Function = graft.Function
+	// Event points accumulate ordered handlers fired on a trigger.
+	Event = graft.Event
+)
+
+// Point privileges.
+const (
+	// Local points affect only consenting applications.
+	Local = graft.Local
+	// Global points change whole-system policy; Root only.
+	Global = graft.Global
+	// Restricted points may never be grafted.
+	Restricted = graft.Restricted
+)
+
+// Loader and registry error sentinels (errors.Is-able through wrapped
+// install errors).
+var (
+	ErrUnsigned        = graft.ErrUnsigned
+	ErrNotSafe         = graft.ErrNotSafe
+	ErrRestrictedPoint = graft.ErrRestrictedPoint
+	ErrPrivilege       = graft.ErrPrivilege
+	ErrUnknownPoint    = graft.ErrUnknownPoint
+	ErrNotCallable     = graft.ErrNotCallable
+	ErrOccupied        = graft.ErrOccupied
+	ErrWatchdog        = graft.ErrWatchdog
+)
+
+// -----------------------------------------------------------------------------
+// Lock and resource re-exports.
+// -----------------------------------------------------------------------------
+
+// Lock is one two-phase lock managed by Kernel.Locks.
+type Lock = lock.Lock
+
+// LockClass groups locks sharing a contention time-out.
+type LockClass = lock.Class
+
+// LockMode is Shared or Exclusive.
+type LockMode = lock.Mode
+
+// Lock modes.
+const (
+	Shared    = lock.Shared
+	Exclusive = lock.Exclusive
+)
+
+// LockTimeoutError is returned (via panic/abort unwinding) when a
+// lock's class time-out expires; match with errors.As.
+type LockTimeoutError = lock.TimeoutError
+
+// ResourceKind names a quantity-constrained resource.
+type ResourceKind = resource.Kind
+
+// Resource kinds.
+const (
+	ResMemory      = resource.Memory
+	ResWiredMemory = resource.WiredMemory
+	ResKernelHeap  = resource.KernelHeap
+	ResThreads     = resource.Threads
+	ResSockets     = resource.Sockets
+	ResDiskBuffers = resource.DiskBuffers
+)
+
+// Conn is a simulated network connection (see Net).
+type Conn = netstk.Conn
+
+// Port is a listening endpoint whose Point() drives event grafts.
+type Port = netstk.Port
+
+// -----------------------------------------------------------------------------
+// Trace query surface.
+// -----------------------------------------------------------------------------
+
+// TraceKind classifies flight-recorder events.
+type TraceKind = trace.Kind
+
+// Flight-recorder event kinds. Query with Kernel.Trace.Filter(kind);
+// render with Dump; count lifetime emissions with Total.
+const (
+	TraceGraftInstall  = trace.GraftInstall
+	TraceGraftReject   = trace.GraftReject
+	TraceGraftCommit   = trace.GraftCommit
+	TraceGraftAbort    = trace.GraftAbort
+	TraceGraftRemove   = trace.GraftRemove
+	TraceWatchdogFire  = trace.WatchdogFire
+	TraceLockTimeout   = trace.LockTimeout
+	TraceEviction      = trace.Eviction
+	TraceGraftOverrule = trace.GraftOverrule
+	TraceFaultInject   = trace.FaultInject
+)
+
+// -----------------------------------------------------------------------------
+// Fault injection and chaos testing.
+// -----------------------------------------------------------------------------
+
+// FaultClass names one category of injectable fault.
+type FaultClass = fault.Class
+
+// Fault classes.
+const (
+	FaultDisk     = fault.Disk
+	FaultLatency  = fault.Latency
+	FaultPressure = fault.Pressure
+	FaultNet      = fault.Net
+	FaultGraft    = fault.Graft
+	FaultLock     = fault.Lock
+)
+
+// FaultClasses returns every class, in canonical order.
+func FaultClasses() []FaultClass { return fault.Classes() }
+
+// ParseFaultClasses parses a comma-separated class list ("disk,graft");
+// empty input selects all classes.
+func ParseFaultClasses(s string) ([]FaultClass, error) { return fault.ParseClasses(s) }
+
+// FaultRule schedules one injection.
+type FaultRule = fault.Rule
+
+// FaultPlan is a seed-derived injection schedule. Pass it to a kernel
+// with WithFaultPlan; the same plan on the same workload reproduces an
+// identical trace sequence.
+type FaultPlan = fault.Plan
+
+// NewFaultPlan derives a plan from a seed: rulesPerClass rules for each
+// requested class (nil classes = all). Equal arguments yield equal
+// plans.
+func NewFaultPlan(seed int64, classes []FaultClass, rulesPerClass int) *FaultPlan {
+	return fault.NewPlan(seed, classes, rulesPerClass)
+}
+
+// FaultInjector interprets a plan at run time (Kernel.Faults). All
+// methods are nil-safe; Disarm/Rearm gate injection without discarding
+// schedule state.
+type FaultInjector = fault.Injector
+
+// ErrFaultInjected is the sentinel wrapped by every injected I/O error,
+// distinguishing deliberate faults from real bugs via errors.Is.
+var ErrFaultInjected = fault.ErrInjected
+
+// Misbehaving-graft library keys, usable with FaultGraftSource.
+const (
+	FaultGraftLoop      = fault.GraftLoop
+	FaultGraftWildStore = fault.GraftWildStore
+	FaultGraftHoard     = fault.GraftHoard
+	FaultGraftBlowout   = fault.GraftBlowout
+	FaultGraftAbortUndo = fault.GraftAbortUndo
+)
+
+// FaultGraftSource returns the GIR source of a library graft, or ""
+// for an unknown key.
+func FaultGraftSource(key string) string { return fault.GraftSource(key) }
+
+// ChaosConfig parameterises a chaos run.
+type ChaosConfig = harness.ChaosConfig
+
+// ChaosReport is the outcome of a chaos run; Survived() is the verdict
+// and TraceDump the determinism artifact.
+type ChaosReport = harness.ChaosReport
+
+// RunChaos builds a fault plan from the config's seed, runs read-ahead,
+// page-eviction, network and scheduling workloads on a fresh kernel
+// while injecting the plan, audits the survival invariants after every
+// abort (no leaked locks, accounts drained, undo stacks unwound, grafts
+// removed), then disarms injection and re-runs a clean workload.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) { return harness.RunChaos(cfg) }

@@ -1,0 +1,196 @@
+package vino_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	vino "vino"
+)
+
+const retSeven = `
+.name seven
+.func main
+main:
+    movi r0, 7
+    ret
+`
+
+func echoPoint(k *vino.Kernel, name string) *vino.GraftPoint {
+	return k.Grafts.RegisterPoint(&vino.GraftPoint{
+		Name:      name,
+		Kind:      vino.Function,
+		Privilege: vino.Local,
+		Default:   func(t *vino.Thread, args []int64) (int64, error) { return -1, nil },
+		Watchdog:  50 * time.Millisecond,
+	})
+}
+
+// TestOptionsFeedConfig checks that each functional option lands in the
+// built kernel.
+func TestOptionsFeedConfig(t *testing.T) {
+	plan := vino.NewFaultPlan(9, nil, 1)
+	k := vino.New(
+		vino.WithTrace(64),
+		vino.WithSeed(9),
+		vino.WithFaultPlan(plan),
+		vino.WithTimeslice(5*time.Millisecond),
+	)
+	if k.Seed != 9 {
+		t.Errorf("Seed = %d, want 9", k.Seed)
+	}
+	if k.Faults == nil || k.Faults.Plan() != plan {
+		t.Error("fault plan not plumbed into the injector")
+	}
+	if !k.Faults.Armed() {
+		t.Error("injector not armed")
+	}
+	if k.FaultHoardLock() == nil {
+		t.Error("fault callables not registered alongside the plan")
+	}
+	if k.Trace == nil {
+		t.Fatal("no trace buffer")
+	}
+}
+
+// TestToolchainBuild covers the three build modes and signer binding.
+func TestToolchainBuild(t *testing.T) {
+	k := vino.New()
+	tc := vino.ToolchainFor(k)
+
+	plain, err := tc.Build(retSeven, vino.BuildOptions{})
+	if err != nil {
+		t.Fatalf("plain build: %v", err)
+	}
+	opt, err := tc.Build(retSeven, vino.BuildOptions{Optimize: true})
+	if err != nil {
+		t.Fatalf("optimized build: %v", err)
+	}
+	raw, err := vino.Toolchain{}.Build(retSeven, vino.BuildOptions{Unsafe: true})
+	if err != nil {
+		t.Fatalf("unsafe build: %v", err)
+	}
+	foreign, err := vino.Toolchain{Signer: vino.NewSigner([]byte("other"))}.Build(retSeven, vino.BuildOptions{})
+	if err != nil {
+		t.Fatalf("foreign build: %v", err)
+	}
+
+	pt := echoPoint(k, "obj.fn")
+	k.SpawnProcess("app", vino.Root, func(p *vino.Process) {
+		for _, tcase := range []struct {
+			name    string
+			img     *vino.Image
+			wantErr error // nil = install and invoke must succeed
+		}{
+			{"plain", plain, nil},
+			{"optimized", opt, nil},
+			{"unsafe", raw, vino.ErrNotSafe},
+			{"foreign-signer", foreign, vino.ErrUnsigned},
+		} {
+			g, err := p.Install("obj.fn", tcase.img, vino.InstallOptions{})
+			if tcase.wantErr != nil {
+				if !errors.Is(err, tcase.wantErr) {
+					t.Errorf("%s: install err = %v, want %v", tcase.name, err, tcase.wantErr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("%s: install: %v", tcase.name, err)
+				continue
+			}
+			if res, err := pt.Invoke(p.Thread); err != nil || res != 7 {
+				t.Errorf("%s: invoke = (%d, %v), want (7, nil)", tcase.name, res, err)
+			}
+			k.Grafts.Remove(g)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Trace.Filter(vino.TraceGraftInstall)) == 0 {
+		t.Error("no graft-install trace events")
+	}
+	if k.Trace.Total() == 0 || k.Trace.Dump() == "" {
+		t.Error("trace query surface empty")
+	}
+}
+
+// TestDeprecatedWrappersStillWork keeps the pre-redesign names alive.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	k := vino.NewKernel(vino.Config{TraceDepth: 32})
+	img, err := vino.BuildSafeGraft(retSeven, k.Signer)
+	if err != nil {
+		t.Fatalf("BuildSafeGraft: %v", err)
+	}
+	opt, err := vino.BuildOptimizedGraft(retSeven, k.Signer)
+	if err != nil {
+		t.Fatalf("BuildOptimizedGraft: %v", err)
+	}
+	pt := echoPoint(k, "obj.fn")
+	k.SpawnProcess("app", 100, func(p *vino.Process) {
+		for _, im := range []*vino.Image{img, opt} {
+			g, err := p.Install("obj.fn", im, vino.InstallOptions{})
+			if err != nil {
+				t.Errorf("install: %v", err)
+				return
+			}
+			if res, err := pt.Invoke(p.Thread); err != nil || res != 7 {
+				t.Errorf("invoke = (%d, %v), want (7, nil)", res, err)
+			}
+			k.Grafts.Remove(g)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultSurfaceRoundTrip exercises the fault-plan surface end to
+// end: parse classes, derive a plan, inspect it, run chaos, compare
+// determinism artifacts — all through the public API.
+func TestFaultSurfaceRoundTrip(t *testing.T) {
+	classes, err := vino.ParseFaultClasses("disk,graft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("classes = %v", classes)
+	}
+	if _, err := vino.ParseFaultClasses("bogus"); err == nil {
+		t.Fatal("bogus class accepted")
+	}
+	plan := vino.NewFaultPlan(4, classes, 2)
+	if len(plan.Rules) != 4 {
+		t.Fatalf("plan has %d rules, want 4", len(plan.Rules))
+	}
+	if got := plan.Classes(); len(got) != 2 {
+		t.Fatalf("plan classes = %v", got)
+	}
+	for _, key := range []string{
+		vino.FaultGraftLoop, vino.FaultGraftWildStore, vino.FaultGraftHoard,
+		vino.FaultGraftBlowout, vino.FaultGraftAbortUndo,
+	} {
+		if vino.FaultGraftSource(key) == "" {
+			t.Errorf("no graft source for %q", key)
+		}
+	}
+
+	cfg := vino.ChaosConfig{Seed: 4, Classes: classes, Iterations: 16}
+	a, err := vino.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vino.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Survived() {
+		t.Fatalf("did not survive: %v (follow-up ok: %v)", a.Violations, a.FollowupOK)
+	}
+	if a.TraceDump != b.TraceDump {
+		t.Fatal("same seed produced different chaos traces")
+	}
+	if !errors.Is(vino.ErrFaultInjected, vino.ErrFaultInjected) {
+		t.Fatal("fault sentinel identity broken")
+	}
+}

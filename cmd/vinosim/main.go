@@ -1,12 +1,16 @@
 // Command vinosim runs narrated scenarios on the simulated VINO kernel,
 // demonstrating each class of graft misbehavior from §2 of the paper and
-// the kernel surviving it.
+// the kernel surviving it, plus a deterministic chaos mode that injects
+// scheduled faults and audits the survival invariants.
 //
 // Usage:
 //
 //	vinosim -list
 //	vinosim -scenario hoard
-//	vinosim            # runs every scenario
+//	vinosim                                  # runs every scenario
+//	vinosim -chaos -seed=7                   # chaos run, all fault classes
+//	vinosim -chaos -seed=7 -faults=disk,lock # chaos run, selected classes
+//	vinosim -chaos -seed=1 -quick            # abbreviated chaos smoke
 package main
 
 import (
@@ -16,13 +20,7 @@ import (
 	"os"
 	"time"
 
-	"vino/internal/graft"
-	"vino/internal/kernel"
-	"vino/internal/lock"
-	"vino/internal/netstk"
-	"vino/internal/resource"
-	"vino/internal/sched"
-	"vino/internal/sfi"
+	vino "vino"
 )
 
 type scenario struct {
@@ -46,8 +44,19 @@ var showTrace bool
 func main() {
 	list := flag.Bool("list", false, "list scenarios")
 	name := flag.String("scenario", "", "run one scenario")
-	flag.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after each scenario")
+	chaos := flag.Bool("chaos", false, "run the deterministic chaos harness instead of scenarios")
+	seed := flag.Int64("seed", 0, "chaos: fault-plan seed (same seed = identical trace)")
+	faults := flag.String("faults", "", "chaos: comma-separated fault classes (disk,latency,pressure,net,graft,lock); empty = all")
+	quick := flag.Bool("quick", false, "chaos: abbreviated run for CI smoke tests")
+	flag.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after each scenario or chaos run")
 	flag.Parse()
+	if *chaos {
+		if err := runChaos(*seed, *faults, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, s := range scenarios {
 			fmt.Printf("%-10s %s\n", s.name, s.brief)
@@ -55,10 +64,12 @@ func main() {
 		return
 	}
 	var failed bool
+	matched := false
 	for _, s := range scenarios {
 		if *name != "" && s.name != *name {
 			continue
 		}
+		matched = true
 		fmt.Printf("=== %s: %s\n", s.name, s.brief)
 		if err := s.run(); err != nil {
 			fmt.Printf("    FAILED: %v\n\n", err)
@@ -67,28 +78,58 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "no scenario %q (use -list)\n", *name)
+		os.Exit(1)
+	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-func newKernel() *kernel.Kernel {
-	return kernel.New(kernel.Config{TraceDepth: 1024})
+// runChaos drives the fault-injection harness: derive a plan from the
+// seed, run the four workload phases under injection, print the verdict.
+func runChaos(seed int64, faults string, quick bool) error {
+	classes, err := vino.ParseFaultClasses(faults)
+	if err != nil {
+		return err
+	}
+	cfg := vino.ChaosConfig{Seed: seed, Classes: classes}
+	if quick {
+		cfg.Iterations = 16
+	}
+	report, err := vino.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chaos plan (seed %d):\n%s", seed, report.Plan)
+	fmt.Print(report.Summary())
+	if showTrace {
+		fmt.Print(report.TraceDump)
+	}
+	if !report.Survived() {
+		return errors.New("kernel did not survive the fault plan")
+	}
+	return nil
+}
+
+func newKernel() *vino.Kernel {
+	return vino.New(vino.WithTrace(1024))
 }
 
 // dumpTrace prints the kernel flight recorder when -trace is set.
-func dumpTrace(k *kernel.Kernel) {
+func dumpTrace(k *vino.Kernel) {
 	if showTrace {
 		fmt.Print(k.Trace.Dump())
 	}
 }
 
-func echoPoint(k *kernel.Kernel, name string, watchdog time.Duration) *graft.Point {
-	return k.Grafts.RegisterPoint(&graft.Point{
+func echoPoint(k *vino.Kernel, name string, watchdog time.Duration) *vino.GraftPoint {
+	return k.Grafts.RegisterPoint(&vino.GraftPoint{
 		Name:      name,
-		Kind:      graft.Function,
-		Privilege: graft.Local,
-		Default:   func(t *sched.Thread, args []int64) (int64, error) { return -1, nil },
+		Kind:      vino.Function,
+		Privilege: vino.Local,
+		Default:   func(t *vino.Thread, args []int64) (int64, error) { return -1, nil },
 		Watchdog:  watchdog,
 	})
 }
@@ -98,8 +139,8 @@ func runSpin() error {
 	pt := echoPoint(k, "obj.fn", 80*time.Millisecond)
 	bystander := 0
 	done := false
-	k.SpawnProcess("victim", 100, func(p *kernel.Process) {
-		g, err := p.BuildAndInstall("obj.fn", ".name spinner\n.func main\nmain:\n jmp main\n", graft.InstallOptions{})
+	k.SpawnProcess("victim", 100, func(p *vino.Process) {
+		g, err := p.BuildAndInstall("obj.fn", vino.FaultGraftSource(vino.FaultGraftLoop), vino.InstallOptions{})
 		if err != nil {
 			panic(err)
 		}
@@ -109,7 +150,7 @@ func runSpin() error {
 		fmt.Printf("    invoke returned default result %d after %v; abort reason: %v\n", res, k.Clock.Now(), ierr)
 		fmt.Printf("    graft forcibly removed: %v; bystander ran %d times meanwhile\n", g.Removed(), bystander)
 	})
-	k.SpawnProcess("bystander", 101, func(p *kernel.Process) {
+	k.SpawnProcess("bystander", 101, func(p *vino.Process) {
 		for !done {
 			bystander++
 			p.Thread.Charge(time.Millisecond)
@@ -128,14 +169,14 @@ func runSpin() error {
 
 func runHoard() error {
 	k := newKernel()
-	resourceA := k.Locks.NewLock("resourceA", &lock.Class{Name: "res", Timeout: 30 * time.Millisecond})
-	k.Grafts.RegisterCallable("demo.lock_a", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
-		ctx.Txn.AcquireLock(resourceA, lock.Exclusive)
+	resourceA := k.Locks.NewLock("resourceA", &vino.LockClass{Name: "res", Timeout: 30 * time.Millisecond})
+	k.Grafts.RegisterCallable("demo.lock_a", func(ctx *vino.Ctx, args [5]int64) (int64, error) {
+		ctx.Txn.AcquireLock(resourceA, vino.Exclusive)
 		return 0, nil
 	})
 	pt := echoPoint(k, "obj.fn", 10*time.Second)
 	contenderGot := false
-	k.SpawnProcess("hog", 100, func(p *kernel.Process) {
+	k.SpawnProcess("hog", 100, func(p *vino.Process) {
 		if _, err := p.BuildAndInstall("obj.fn", `
 .name lock-hog
 .import demo.lock_a
@@ -144,16 +185,16 @@ main:
     callk demo.lock_a
 spin:
     jmp spin
-`, graft.InstallOptions{}); err != nil {
+`, vino.InstallOptions{}); err != nil {
 			panic(err)
 		}
 		fmt.Println("    graft takes resourceA and spins: the paper's lock(resourceA); while(1);")
 		_, ierr := pt.Invoke(p.Thread)
 		fmt.Printf("    holder's transaction aborted at %v: %v\n", k.Clock.Now(), ierr)
 	})
-	k.SpawnProcess("contender", 101, func(p *kernel.Process) {
+	k.SpawnProcess("contender", 101, func(p *vino.Process) {
 		p.Thread.Charge(2 * time.Millisecond)
-		resourceA.Acquire(p.Thread, lock.Exclusive)
+		resourceA.Acquire(p.Thread, vino.Exclusive)
 		contenderGot = true
 		fmt.Printf("    contender obtained resourceA at %v\n", k.Clock.Now())
 		_ = resourceA.Release(p.Thread)
@@ -171,17 +212,9 @@ spin:
 func runMemory() error {
 	k := newKernel()
 	pt := echoPoint(k, "obj.fn", time.Second)
-	k.SpawnProcess("greedy", 100, func(p *kernel.Process) {
-		g, err := p.BuildAndInstall("obj.fn", `
-.name gobbler
-.import vino.kheap_alloc
-.func main
-main:
-    movi r1, 4096
-loop:
-    callk vino.kheap_alloc
-    jmp loop
-`, graft.InstallOptions{Transfer: map[resource.Kind]int64{resource.KernelHeap: 64 << 10}})
+	k.SpawnProcess("greedy", 100, func(p *vino.Process) {
+		g, err := p.BuildAndInstall("obj.fn", vino.FaultGraftSource(vino.FaultGraftBlowout),
+			vino.InstallOptions{Transfer: map[vino.ResourceKind]int64{vino.ResKernelHeap: 64 << 10}})
 		if err != nil {
 			panic(err)
 		}
@@ -189,7 +222,7 @@ loop:
 		_, ierr := pt.Invoke(p.Thread)
 		fmt.Printf("    aborted: %v\n", ierr)
 		fmt.Printf("    graft account usage after undo: %d bytes (all allocations rolled back)\n",
-			g.Account.Used(resource.KernelHeap))
+			g.Account.Used(vino.ResKernelHeap))
 	})
 	return k.Run()
 }
@@ -211,11 +244,11 @@ loop:
     ret
 `
 	// First: what an unprotected graft would have done.
-	raw, err := sfi.BuildUnsafe(src)
+	raw, err := vino.Toolchain{}.Build(src, vino.BuildOptions{Unsafe: true})
 	if err != nil {
 		return err
 	}
-	vm, err := sfi.NewVM(raw, sfi.Config{})
+	vm, err := vino.NewGraftVM(raw)
 	if err != nil {
 		return err
 	}
@@ -237,8 +270,8 @@ loop:
 	// Now through the kernel, SFI-protected.
 	k := newKernel()
 	pt := echoPoint(k, "obj.fn", time.Second)
-	k.SpawnProcess("app", 100, func(p *kernel.Process) {
-		g, err := p.BuildAndInstall("obj.fn", src, graft.InstallOptions{})
+	k.SpawnProcess("app", 100, func(p *vino.Process) {
+		g, err := p.BuildAndInstall("obj.fn", src, vino.InstallOptions{})
 		if err != nil {
 			panic(err)
 		}
@@ -267,21 +300,23 @@ func runForge() error {
 	k := newKernel()
 	echoPoint(k, "obj.fn", time.Second)
 	var result error
-	k.SpawnProcess("forger", 100, func(p *kernel.Process) {
-		forged, _, err := sfi.BuildSafe(".name evil\n.func main\nmain:\n ret", sfi.NewSigner([]byte("attacker-key")))
+	k.SpawnProcess("forger", 100, func(p *vino.Process) {
+		attacker := vino.Toolchain{Signer: vino.NewSigner([]byte("attacker-key"))}
+		forged, err := attacker.Build(".name evil\n.func main\nmain:\n ret", vino.BuildOptions{})
 		if err != nil {
 			result = err
 			return
 		}
-		_, err = p.Install("obj.fn", forged, graft.InstallOptions{})
+		_, err = p.Install("obj.fn", forged, vino.InstallOptions{})
 		fmt.Printf("    self-signed image: %v\n", err)
-		genuine, _, err := sfi.BuildSafe(".name patched\n.func main\nmain:\n ret", k.Signer)
+		genuine, err := vino.ToolchainFor(k).Build(".name patched\n.func main\nmain:\n movi r0, 1\n ret", vino.BuildOptions{})
 		if err != nil {
 			result = err
 			return
 		}
-		genuine.Code = append(genuine.Code, sfi.Instr{Op: sfi.NOP})
-		_, err = p.Install("obj.fn", genuine, graft.InstallOptions{})
+		// Patch the signed image: drop its last instruction.
+		genuine.Code = genuine.Code[:len(genuine.Code)-1]
+		_, err = p.Install("obj.fn", genuine, vino.InstallOptions{})
 		fmt.Printf("    signed-then-patched image: %v\n", err)
 	})
 	if err := k.Run(); err != nil {
@@ -293,8 +328,8 @@ func runForge() error {
 func runDoS() error {
 	k := newKernel()
 	pt := echoPoint(k, "pagedaemon.pick-victim", 40*time.Millisecond)
-	k.SpawnProcess("daemon", 100, func(p *kernel.Process) {
-		if _, err := p.BuildAndInstall("pagedaemon.pick-victim", ".name throttle\n.func main\nmain:\n jmp main\n", graft.InstallOptions{}); err != nil {
+	k.SpawnProcess("daemon", 100, func(p *vino.Process) {
+		if _, err := p.BuildAndInstall("pagedaemon.pick-victim", vino.FaultGraftSource(vino.FaultGraftLoop), vino.InstallOptions{}); err != nil {
 			panic(err)
 		}
 		fmt.Println("    a critical caller invokes a graft that never returns, ten times:")
@@ -311,10 +346,10 @@ func runDoS() error {
 
 func runHTTP() error {
 	k := newKernel()
-	n := netstk.New(k)
+	n := vino.NewNet(k)
 	port := n.Listen("tcp", 80)
 	var resp []byte
-	k.SpawnProcess("server", 100, func(p *kernel.Process) {
+	k.SpawnProcess("server", 100, func(p *vino.Process) {
 		if _, err := p.BuildAndInstall(port.Point().Name, `
 .name http-server
 .import net.read
@@ -334,7 +369,7 @@ main:
     mov r1, r6
     callk net.close
     ret
-`, graft.InstallOptions{Transfer: map[resource.Kind]int64{resource.Memory: 4096}}); err != nil {
+`, vino.InstallOptions{Transfer: map[vino.ResourceKind]int64{vino.ResMemory: 4096}}); err != nil {
 			panic(err)
 		}
 		conn, err := n.Connect(k.Sched, "tcp", 80, []byte("GET / HTTP/1.0\r\n\r\n"))

@@ -12,11 +12,6 @@ import (
 	"time"
 
 	vino "vino"
-	"vino/internal/graft"
-	"vino/internal/kernel"
-	"vino/internal/lock"
-	"vino/internal/sched"
-	"vino/internal/sfi"
 )
 
 type check struct {
@@ -32,35 +27,35 @@ func main() {
 		checks = append(checks, check{rule, what, ok, note})
 	}
 
-	k := vino.NewKernel(vino.Config{})
-	point := k.Grafts.RegisterPoint(&graft.Point{
+	k := vino.New()
+	point := k.Grafts.RegisterPoint(&vino.GraftPoint{
 		Name:      "obj.fn",
-		Kind:      graft.Function,
-		Privilege: graft.Local,
-		Default:   func(t *sched.Thread, args []int64) (int64, error) { return -1, nil },
+		Kind:      vino.Function,
+		Privilege: vino.Local,
+		Default:   func(t *vino.Thread, args []int64) (int64, error) { return -1, nil },
 		Watchdog:  50 * time.Millisecond,
 	})
-	k.Grafts.RegisterPoint(&graft.Point{
+	k.Grafts.RegisterPoint(&vino.GraftPoint{
 		Name:      "security.enforce",
-		Kind:      graft.Function,
-		Privilege: graft.Restricted,
-		Default:   func(t *sched.Thread, args []int64) (int64, error) { return 0, nil },
+		Kind:      vino.Function,
+		Privilege: vino.Restricted,
+		Default:   func(t *vino.Thread, args []int64) (int64, error) { return 0, nil },
 	})
-	k.Grafts.RegisterPoint(&graft.Point{
+	k.Grafts.RegisterPoint(&vino.GraftPoint{
 		Name:      "vm.global-policy",
-		Kind:      graft.Function,
-		Privilege: graft.Global,
-		Default:   func(t *sched.Thread, args []int64) (int64, error) { return 0, nil },
+		Kind:      vino.Function,
+		Privilege: vino.Global,
+		Default:   func(t *vino.Thread, args []int64) (int64, error) { return 0, nil },
 	})
-	contested := k.Locks.NewLock("contested", &lock.Class{Name: "demo", Timeout: 20 * time.Millisecond})
-	k.Grafts.RegisterCallable("demo.lock", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
-		ctx.Txn.AcquireLock(contested, lock.Exclusive)
+	contested := k.Locks.NewLock("contested", &vino.LockClass{Name: "demo", Timeout: 20 * time.Millisecond})
+	k.Grafts.RegisterCallable("demo.lock", func(ctx *vino.Ctx, args [5]int64) (int64, error) {
+		ctx.Txn.AcquireLock(contested, vino.Exclusive)
 		return 0, nil
 	})
 
-	k.SpawnProcess("attacker", 100, func(p *kernel.Process) {
+	k.SpawnProcess("attacker", 100, func(p *vino.Process) {
 		// Rule 1+9: preemptible grafts, forward progress.
-		g, err := p.BuildAndInstall("obj.fn", ".name loop\n.func main\nmain:\n jmp main\n", graft.InstallOptions{})
+		g, err := p.BuildAndInstall("obj.fn", vino.FaultGraftSource(vino.FaultGraftLoop), vino.InstallOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,14 +72,14 @@ main:
     callk demo.lock
 spin:
     jmp spin
-`, graft.InstallOptions{})
+`, vino.InstallOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
 		got := false
-		k.Sched.Spawn("contender", func(t *sched.Thread) {
+		k.Sched.Spawn("contender", func(t *vino.Thread) {
 			t.Charge(time.Millisecond)
-			contested.Acquire(t, lock.Exclusive)
+			contested.Acquire(t, vino.Exclusive)
 			got = true
 			_ = contested.Release(t)
 		})
@@ -92,7 +87,7 @@ spin:
 		for i := 0; i < 50 && !got; i++ {
 			p.Thread.Yield()
 		}
-		var te *lock.TimeoutError
+		var te *vino.LockTimeoutError
 		add("2", "lock(resourceA); while(1)", errors.As(ierr, &te) && got && g2.Removed(),
 			"contention time-out aborted the holder; contender proceeded")
 
@@ -106,7 +101,7 @@ main:
     stb [r1+0], r2
     movi r0, 0
     ret
-`, graft.InstallOptions{})
+`, vino.InstallOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -132,27 +127,27 @@ main:
 main:
     callk fs.read_private_data
     ret
-`, graft.InstallOptions{})
-		add("4,7", "import of a non-callable function", errors.Is(err, graft.ErrNotCallable),
+`, vino.InstallOptions{})
+		add("4,7", "import of a non-callable function", errors.Is(err, vino.ErrNotCallable),
 			"rejected by the dynamic linker")
 
 		// Rule 5: restricted points.
-		_, err = p.BuildAndInstall("security.enforce", ".name takeover\n.func main\nmain:\n ret", graft.InstallOptions{})
-		add("5", "graft on the security module", errors.Is(err, graft.ErrRestrictedPoint),
+		_, err = p.BuildAndInstall("security.enforce", ".name takeover\n.func main\nmain:\n ret", vino.InstallOptions{})
+		add("5", "graft on the security module", errors.Is(err, vino.ErrRestrictedPoint),
 			"restricted points are never graftable")
 
 		// Rule 6: unsigned code.
-		raw, err := sfi.BuildUnsafe(".name raw\n.func main\nmain:\n ret")
+		raw, err := vino.Toolchain{}.Build(".name raw\n.func main\nmain:\n ret", vino.BuildOptions{Unsafe: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, err = p.Install("obj.fn", raw, graft.InstallOptions{})
-		add("6", "unprocessed (unsigned) image", errors.Is(err, graft.ErrNotSafe),
+		_, err = p.Install("obj.fn", raw, vino.InstallOptions{})
+		add("6", "unprocessed (unsigned) image", errors.Is(err, vino.ErrNotSafe),
 			"loader demands the toolchain's signature over rewritten code")
 
 		// Rule 8: global policy needs privilege.
-		_, err = p.BuildAndInstall("vm.global-policy", ".name bias\n.func main\nmain:\n ret", graft.InstallOptions{})
-		add("8", "normal user grafting global policy", errors.Is(err, graft.ErrPrivilege),
+		_, err = p.BuildAndInstall("vm.global-policy", ".name bias\n.func main\nmain:\n ret", vino.InstallOptions{})
+		add("8", "normal user grafting global policy", errors.Is(err, vino.ErrPrivilege),
 			"global points require root")
 	})
 	if err := k.Run(); err != nil {

@@ -1,0 +1,445 @@
+// Package fault is the simulated kernel's deterministic fault plane: a
+// seed-driven schedule of environment faults (disk I/O errors, latency
+// degradation, memory-frame pressure, connection churn) and graft faults
+// (a library of misbehaving GIR sources) that the chaos harness injects
+// into a running kernel and then proves the survival machinery — SFI,
+// transactions, lock time-outs, resource accounts, watchdogs — restores
+// every invariant.
+//
+// The paper's thesis is that a VINO kernel *survives* misbehaved
+// extensions; this package exists to manufacture misbehavior on demand.
+// Everything is driven by a PRNG seeded from kernel configuration, so
+// the same seed reproduces the identical injection sequence — and, on
+// the simulator's virtual clock, a byte-identical flight-recorder dump.
+//
+// Architecture: a Plan is a pure description (a list of Rules, each
+// saying *what* fires and *when*); an Injector interprets the plan at
+// run time. Subsystems consult the injector at hook sites — the disk
+// read path, the frame allocator, the connection dispatcher — through
+// nil-safe methods, so an unconfigured kernel pays one nil check per
+// site. Graft-class rules are not interpreted by the injector at all:
+// the chaos harness reads them from the plan and installs the
+// corresponding misbehaving graft itself, reporting each installation
+// back through Note so the trace stays the single source of truth.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"vino/internal/simclock"
+	"vino/internal/trace"
+)
+
+// Class names one category of injected fault.
+type Class string
+
+// The fault classes understood by the plan generator and the hook sites.
+const (
+	// Disk injects read/write I/O errors on the simulated disk.
+	Disk Class = "disk"
+	// Latency multiplies disk service time, either for one access
+	// (every-Nth) or for a virtual-time window.
+	Latency Class = "latency"
+	// Pressure steals physical frames from the VM system for a window,
+	// forcing evictions exactly as a memory spike would.
+	Pressure Class = "pressure"
+	// Net resets incoming connections before their handlers run
+	// (connection churn): event grafts see dead sockets.
+	Net Class = "net"
+	// Graft installs a misbehaving graft from the library (infinite
+	// loop, wild store, resource blowout, poisoned undo) at a graft
+	// point chosen by the harness.
+	Graft Class = "graft"
+	// Lock installs the lock-hoarding graft: lock(resourceA); while(1).
+	Lock Class = "lock"
+)
+
+// Classes returns every known class, in canonical order.
+func Classes() []Class {
+	return []Class{Disk, Latency, Pressure, Net, Graft, Lock}
+}
+
+// ParseClasses parses a comma-separated class list ("disk,graft,lock").
+// The empty string means every class.
+func ParseClasses(s string) ([]Class, error) {
+	if strings.TrimSpace(s) == "" {
+		return Classes(), nil
+	}
+	known := make(map[Class]bool)
+	for _, c := range Classes() {
+		known[c] = true
+	}
+	var out []Class
+	seen := make(map[Class]bool)
+	for _, part := range strings.Split(s, ",") {
+		c := Class(strings.TrimSpace(part))
+		if c == "" {
+			continue
+		}
+		if !known[c] {
+			return nil, fmt.Errorf("fault: unknown class %q (known: %v)", c, Classes())
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return Classes(), nil
+	}
+	return out, nil
+}
+
+// ErrInjected is the sentinel wrapped by every injected I/O error, so
+// subsystems and tests can distinguish manufactured failures from real
+// bugs with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// Rule is one scheduled injection. Exactly one trigger is set: At (a
+// virtual-clock instant; for windowed classes the window start) or
+// EveryN (every Nth consultation of the hook site).
+type Rule struct {
+	Class Class
+	// At is the virtual instant the rule arms: one-shot classes fire
+	// once at the first consultation at or after At; windowed classes
+	// open a Window-long active window at that first consultation.
+	At time.Duration
+	// EveryN fires on every Nth consultation of the rule's hook site.
+	EveryN int64
+	// Window is the active duration for Latency and Pressure rules
+	// triggered by At.
+	Window time.Duration
+	// Factor is the class-specific magnitude: latency multiplier,
+	// frames stolen.
+	Factor int64
+	// Write selects the write path for Disk rules.
+	Write bool
+	// Graft is the graft-library key for Graft and Lock rules.
+	Graft string
+}
+
+// String renders the rule for plan inspection.
+func (r Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", r.Class)
+	switch {
+	case r.EveryN > 0:
+		fmt.Fprintf(&b, " every %d", r.EveryN)
+	default:
+		fmt.Fprintf(&b, " at %v", r.At)
+	}
+	if r.Window > 0 {
+		fmt.Fprintf(&b, " for %v", r.Window)
+	}
+	if r.Factor > 0 {
+		fmt.Fprintf(&b, " x%d", r.Factor)
+	}
+	if r.Write {
+		b.WriteString(" (write)")
+	}
+	if r.Graft != "" {
+		fmt.Fprintf(&b, " graft=%s", r.Graft)
+	}
+	return b.String()
+}
+
+// Plan is a deterministic injection schedule: the seed it was derived
+// from plus the concrete rules. Plans are pure data; hand-built plans
+// (tests) and generated plans (NewPlan) are interpreted identically.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// NewPlan derives rulesPerClass rules for each requested class from a
+// PRNG seeded with seed. The same (seed, classes, rulesPerClass) always
+// yields the identical plan.
+func NewPlan(seed int64, classes []Class, rulesPerClass int) *Plan {
+	if rulesPerClass <= 0 {
+		rulesPerClass = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	for _, c := range classes {
+		for i := 0; i < rulesPerClass; i++ {
+			p.Rules = append(p.Rules, genRule(rng, c))
+		}
+	}
+	return p
+}
+
+// genRule draws one rule for class c. All draws come from rng in a
+// fixed order so the stream is reproducible.
+func genRule(rng *rand.Rand, c Class) Rule {
+	r := Rule{Class: c}
+	switch c {
+	case Disk:
+		r.EveryN = 5 + rng.Int63n(36)      // every 5th..40th access
+		r.Write = rng.Intn(10) < 3         // ~30% hit the write path
+	case Latency:
+		if rng.Intn(2) == 0 {
+			r.EveryN = 4 + rng.Int63n(20) // one slow access every N
+		} else {
+			r.At = time.Duration(5+rng.Int63n(200)) * time.Millisecond
+			r.Window = time.Duration(20+rng.Int63n(60)) * time.Millisecond
+		}
+		r.Factor = 2 + rng.Int63n(7) // 2x..8x service time
+	case Pressure:
+		r.At = time.Duration(10+rng.Int63n(290)) * time.Millisecond
+		r.Window = time.Duration(30+rng.Int63n(70)) * time.Millisecond
+		r.Factor = 8 + rng.Int63n(57) // 8..64 frames stolen
+	case Net:
+		r.EveryN = 2 + rng.Int63n(4) // reset every 2nd..5th connection
+	case Graft:
+		r.EveryN = 3 + rng.Int63n(13) // at workload iteration 3..15
+		r.Graft = GraftKeys[rng.Intn(len(GraftKeys))]
+	case Lock:
+		r.EveryN = 4 + rng.Int63n(9)
+		r.Graft = GraftHoard
+	}
+	return r
+}
+
+// RulesFor returns the plan's rules of one class, in plan order.
+func (p *Plan) RulesFor(c Class) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.Class == c {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Classes returns the distinct classes present in the plan, sorted.
+func (p *Plan) Classes() []Class {
+	seen := make(map[Class]bool)
+	for _, r := range p.Rules {
+		seen[r.Class] = true
+	}
+	out := make([]Class, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the plan for inspection (`vinosim -chaos` prints it).
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault plan (seed %d, %d rules)\n", p.Seed, len(p.Rules))
+	for i, r := range p.Rules {
+		fmt.Fprintf(&b, "  [%2d] %s\n", i, r)
+	}
+	return b.String()
+}
+
+// Injector interprets a plan against the virtual clock. One per kernel;
+// nil injectors are inert, so hook sites call unconditionally.
+type Injector struct {
+	plan     *Plan
+	clock    *simclock.Clock
+	tr       *trace.Buffer
+	disarmed bool
+
+	fired  int64
+	reads  int64
+	writes int64
+	conns  int64
+
+	oneShot   map[int]bool          // rule index -> already fired (At one-shots)
+	windowEnd map[int]time.Duration // windowed rule index -> armed window close
+}
+
+// NewInjector builds an injector for plan over clock, emitting
+// fault-inject events to tr.
+func NewInjector(p *Plan, clock *simclock.Clock, tr *trace.Buffer) *Injector {
+	return &Injector{
+		plan:      p,
+		clock:     clock,
+		tr:        tr,
+		oneShot:   make(map[int]bool),
+		windowEnd: make(map[int]time.Duration),
+	}
+}
+
+// Plan returns the schedule the injector interprets (nil-safe).
+func (in *Injector) Plan() *Plan {
+	if in == nil {
+		return nil
+	}
+	return in.plan
+}
+
+// Fired reports how many injections have fired so far (nil-safe).
+func (in *Injector) Fired() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.fired
+}
+
+// Disarm silences the injector: every hook site reports "no fault"
+// until Rearm. The chaos harness disarms before its clean follow-up
+// workload.
+func (in *Injector) Disarm() {
+	if in != nil {
+		in.disarmed = true
+	}
+}
+
+// Rearm re-enables a disarmed injector.
+func (in *Injector) Rearm() {
+	if in != nil {
+		in.disarmed = false
+	}
+}
+
+// Armed reports whether the injector is live (nil-safe).
+func (in *Injector) Armed() bool { return in != nil && !in.disarmed }
+
+// fire records one injection in the flight recorder.
+func (in *Injector) fire(c Class, subject, detail string) {
+	in.fired++
+	in.tr.Emit(in.clock.Now(), trace.FaultInject, fmt.Sprintf("%s:%s", c, subject), detail)
+}
+
+// due evaluates a counter- or instant-triggered rule. count is the hook
+// site's consultation counter (1-based).
+func (in *Injector) due(idx int, r Rule, count int64) bool {
+	if r.EveryN > 0 {
+		return count%r.EveryN == 0
+	}
+	if in.clock.Now() >= r.At && !in.oneShot[idx] {
+		in.oneShot[idx] = true
+		return true
+	}
+	return false
+}
+
+// windowActive evaluates a windowed rule. The window arms at the first
+// consultation at or after the rule's instant and stays active for the
+// rule's duration from that point — so a subsystem that only starts
+// consulting late in the timeline still feels every scheduled window.
+// The first consultation inside the window is traced.
+func (in *Injector) windowActive(idx int, r Rule) bool {
+	now := in.clock.Now()
+	end, armed := in.windowEnd[idx]
+	if !armed {
+		if now < r.At {
+			return false
+		}
+		in.windowEnd[idx] = now + r.Window
+		in.fire(r.Class, "window", r.String())
+		return true
+	}
+	return now < end
+}
+
+// DiskRead is consulted once per synchronous or prefetch block read. It
+// returns a latency scale factor (>= 1) and, when an error rule fires,
+// the injected I/O error. Nil-safe.
+func (in *Injector) DiskRead(lba int64) (scale int64, err error) {
+	if !in.Armed() {
+		return 1, nil
+	}
+	in.reads++
+	scale = 1
+	for i, r := range in.plan.Rules {
+		switch r.Class {
+		case Disk:
+			if r.Write {
+				continue
+			}
+			if in.due(i, r, in.reads) {
+				in.fire(Disk, fmt.Sprintf("lba %d", lba), "injected read error")
+				err = fmt.Errorf("%w: disk read error at lba %d", ErrInjected, lba)
+			}
+		case Latency:
+			if r.EveryN > 0 {
+				if in.reads%r.EveryN == 0 {
+					in.fire(Latency, fmt.Sprintf("lba %d", lba), fmt.Sprintf("x%d service time", r.Factor))
+					scale *= r.Factor
+				}
+			} else if in.windowActive(i, r) {
+				scale *= r.Factor
+			}
+		}
+	}
+	return scale, err
+}
+
+// DiskWrite is consulted once per written block; it returns the
+// injected I/O error when a write rule fires. Nil-safe.
+func (in *Injector) DiskWrite(lba int64) error {
+	if !in.Armed() {
+		return nil
+	}
+	in.writes++
+	var err error
+	for i, r := range in.plan.Rules {
+		if r.Class != Disk || !r.Write {
+			continue
+		}
+		if in.due(i, r, in.writes) {
+			in.fire(Disk, fmt.Sprintf("lba %d", lba), "injected write error")
+			err = fmt.Errorf("%w: disk write error at lba %d", ErrInjected, lba)
+		}
+	}
+	return err
+}
+
+// StolenFrames reports how many physical frames pressure rules are
+// currently holding hostage. The VM system subtracts it from its free
+// pool; the spike ends when the window closes. Nil-safe.
+func (in *Injector) StolenFrames() int {
+	if !in.Armed() {
+		return 0
+	}
+	stolen := 0
+	for i, r := range in.plan.Rules {
+		if r.Class != Pressure {
+			continue
+		}
+		if in.windowActive(i, r) {
+			stolen += int(r.Factor)
+		}
+	}
+	return stolen
+}
+
+// DropConnection is consulted once per accepted connection; true means
+// the connection is reset before any handler runs. Nil-safe.
+func (in *Injector) DropConnection(id int64) bool {
+	if !in.Armed() {
+		return false
+	}
+	in.conns++
+	drop := false
+	for i, r := range in.plan.Rules {
+		if r.Class != Net {
+			continue
+		}
+		if in.due(i, r, in.conns) {
+			in.fire(Net, fmt.Sprintf("conn %d", id), "connection reset")
+			drop = true
+		}
+	}
+	return drop
+}
+
+// Note records a harness-driven injection (a misbehaving graft
+// installed from the library) so graft faults appear in the same trace
+// stream as environment faults. Nil-safe.
+func (in *Injector) Note(c Class, subject, detail string) {
+	if !in.Armed() {
+		return
+	}
+	in.fire(c, subject, detail)
+}

@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"vino/internal/simclock"
+	"vino/internal/trace"
+)
+
+// TestNewPlanDeterministic: same (seed, classes, k) => identical plan;
+// different seeds => different plans.
+func TestNewPlanDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		seed    int64
+		classes []Class
+		k       int
+	}{
+		{1, Classes(), 3},
+		{7, []Class{Disk, Graft}, 5},
+		{42, []Class{Latency}, 1},
+	} {
+		a := NewPlan(tc.seed, tc.classes, tc.k)
+		b := NewPlan(tc.seed, tc.classes, tc.k)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: plans differ:\n%s\n%s", tc.seed, a, b)
+		}
+		if want := len(tc.classes) * tc.k; len(a.Rules) != want {
+			t.Fatalf("seed %d: %d rules, want %d", tc.seed, len(a.Rules), want)
+		}
+	}
+	if NewPlan(1, Classes(), 3).String() == NewPlan(2, Classes(), 3).String() {
+		t.Fatal("seeds 1 and 2 generated identical plans")
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"", len(Classes()), false},
+		{"disk", 1, false},
+		{"disk,graft,lock", 3, false},
+		{" disk , net ", 2, false},
+		{"disk,disk", 1, false},
+		{"bogus", 0, true},
+	} {
+		got, err := ParseClasses(tc.in)
+		if tc.wantErr != (err != nil) {
+			t.Fatalf("ParseClasses(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+		}
+		if err == nil && len(got) != tc.want {
+			t.Fatalf("ParseClasses(%q) = %v, want %d classes", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestInjectorNilSafe: every hook on a nil injector is inert.
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	if scale, err := in.DiskRead(5); scale != 1 || err != nil {
+		t.Fatalf("nil DiskRead = (%d, %v)", scale, err)
+	}
+	if err := in.DiskWrite(5); err != nil {
+		t.Fatalf("nil DiskWrite = %v", err)
+	}
+	if n := in.StolenFrames(); n != 0 {
+		t.Fatalf("nil StolenFrames = %d", n)
+	}
+	if in.DropConnection(1) {
+		t.Fatal("nil DropConnection = true")
+	}
+	in.Note(Disk, "x", "y") // must not panic
+	in.Disarm()
+	in.Rearm()
+	if in.Armed() {
+		t.Fatal("nil injector reports armed")
+	}
+	if in.Fired() != 0 || in.Plan() != nil {
+		t.Fatal("nil injector reports state")
+	}
+}
+
+// TestEveryNTrigger: an every-Nth disk rule fires exactly on multiples
+// of N, and the firings land in the trace.
+func TestEveryNTrigger(t *testing.T) {
+	clock := simclock.New(0)
+	tr := trace.New(128)
+	plan := &Plan{Seed: 0, Rules: []Rule{{Class: Disk, EveryN: 3}}}
+	in := NewInjector(plan, clock, tr)
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if _, err := in.DiskRead(int64(i)); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("read %d: error not wrapped in ErrInjected: %v", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	if fmt.Sprint(fired) != "[3 6 9]" {
+		t.Fatalf("fired on %v, want [3 6 9]", fired)
+	}
+	if got := len(tr.Filter(trace.FaultInject)); got != 3 {
+		t.Fatalf("%d fault-inject events, want 3", got)
+	}
+	if in.Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3", in.Fired())
+	}
+}
+
+// TestWriteRuleSelectsWritePath: a write rule never hits reads.
+func TestWriteRuleSelectsWritePath(t *testing.T) {
+	clock := simclock.New(0)
+	plan := &Plan{Rules: []Rule{{Class: Disk, EveryN: 2, Write: true}}}
+	in := NewInjector(plan, clock, trace.New(16))
+	for i := 0; i < 10; i++ {
+		if _, err := in.DiskRead(int64(i)); err != nil {
+			t.Fatalf("read path hit by write rule: %v", err)
+		}
+	}
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if err := in.DiskWrite(int64(i)); err != nil {
+			errs++
+		}
+	}
+	if errs != 5 {
+		t.Fatalf("write errors = %d, want 5", errs)
+	}
+}
+
+// TestWindowArming: a pressure window arms at the first consultation at
+// or after At and closes after Window.
+func TestWindowArming(t *testing.T) {
+	clock := simclock.New(0)
+	plan := &Plan{Rules: []Rule{{Class: Pressure, At: 10 * time.Millisecond, Window: 5 * time.Millisecond, Factor: 4}}}
+	in := NewInjector(plan, clock, trace.New(16))
+	if n := in.StolenFrames(); n != 0 {
+		t.Fatalf("stolen before At: %d", n)
+	}
+	advance(clock, 30*time.Millisecond) // consult late: window arms now
+	if n := in.StolenFrames(); n != 4 {
+		t.Fatalf("stolen at arming: %d, want 4", n)
+	}
+	advance(clock, 3*time.Millisecond)
+	if n := in.StolenFrames(); n != 4 {
+		t.Fatalf("stolen inside window: %d, want 4", n)
+	}
+	advance(clock, 10*time.Millisecond)
+	if n := in.StolenFrames(); n != 0 {
+		t.Fatalf("stolen after close: %d, want 0", n)
+	}
+}
+
+// TestLatencyScaleCompounds: overlapping latency rules multiply.
+func TestLatencyScaleCompounds(t *testing.T) {
+	clock := simclock.New(0)
+	plan := &Plan{Rules: []Rule{
+		{Class: Latency, EveryN: 1, Factor: 2},
+		{Class: Latency, EveryN: 1, Factor: 3},
+	}}
+	in := NewInjector(plan, clock, trace.New(16))
+	scale, err := in.DiskRead(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 6 {
+		t.Fatalf("scale = %d, want 6", scale)
+	}
+}
+
+// TestDisarm: a disarmed injector is inert and Rearm restores it.
+func TestDisarm(t *testing.T) {
+	clock := simclock.New(0)
+	plan := &Plan{Rules: []Rule{{Class: Net, EveryN: 1}}}
+	in := NewInjector(plan, clock, trace.New(16))
+	if !in.DropConnection(1) {
+		t.Fatal("armed rule did not fire")
+	}
+	in.Disarm()
+	if in.DropConnection(2) {
+		t.Fatal("disarmed injector fired")
+	}
+	in.Rearm()
+	if !in.DropConnection(3) {
+		t.Fatal("rearmed injector did not fire")
+	}
+}
+
+// TestGraftLibraryComplete: every key has source, every generated graft
+// rule names a library key.
+func TestGraftLibraryComplete(t *testing.T) {
+	for _, key := range GraftKeys {
+		if GraftSource(key) == "" {
+			t.Fatalf("no source for %q", key)
+		}
+	}
+	if GraftSource("nope") != "" {
+		t.Fatal("unknown key returned source")
+	}
+	p := NewPlan(9, []Class{Graft, Lock}, 10)
+	for _, r := range p.Rules {
+		if GraftSource(r.Graft) == "" {
+			t.Fatalf("rule %s names unknown graft %q", r, r.Graft)
+		}
+	}
+}
+
+// advance drains the clock forward by d using a timer event.
+func advance(c *simclock.Clock, d time.Duration) {
+	target := c.Now() + d
+	c.After(d, func() {})
+	for c.Now() < target && c.AdvanceToNext() {
+	}
+}

@@ -1,0 +1,112 @@
+package fault
+
+// The graft fault library: misbehaving GIR sources covering the
+// paper's §2 taxonomy, ready to assemble with the SFI toolchain and
+// install at any graft point. Each exercises a different layer of the
+// survival machinery:
+//
+//	loop       forward-progress watchdog → abort → forcible removal
+//	wildstore  SFI address masking (kernel memory stays untouched)
+//	hoard      lock time-out aborts the holder's transaction
+//	blowout    resource-limit denial + undo of prior allocations
+//	abortundo  a fault *inside* an undo handler during abort — the
+//	           lock manager must still be released
+//
+// The hoard and abortundo sources import fault.* kernel callables that
+// the kernel registers only when a fault plan is configured.
+
+// Graft-library keys.
+const (
+	GraftLoop      = "loop"
+	GraftWildStore = "wildstore"
+	GraftHoard     = "hoard"
+	GraftBlowout   = "blowout"
+	GraftAbortUndo = "abortundo"
+)
+
+// GraftKeys lists the library in canonical order (plan generation
+// indexes into this slice, so the order is part of determinism).
+var GraftKeys = []string{GraftLoop, GraftWildStore, GraftHoard, GraftBlowout, GraftAbortUndo}
+
+// graftSources maps each key to its GIR source.
+var graftSources = map[string]string{
+	// The §2.2 infinite loop: never yields, never returns. The
+	// scheduler preempts it, the watchdog aborts it, the registry
+	// removes it.
+	GraftLoop: `
+.name fault-loop
+.func main
+main:
+    jmp main
+`,
+
+	// The §2.1 wild pointer: walk a 512-byte stride of stores starting
+	// at an address the graft has no business writing. Under SFI every
+	// store is masked into the graft's own segment; the invariant is
+	// that kernel memory is bit-identical afterwards.
+	GraftWildStore: `
+.name fault-wildstore
+.func main
+main:
+    movi r1, 64
+    movi r2, 0x5A
+    movi r3, 512
+loop:
+    stb [r1+0], r2
+    addi r1, r1, 7
+    addi r3, r3, -1
+    jnz r3, loop
+    movi r0, 0
+    ret
+`,
+
+	// The §2.2 lock hoard: lock(resourceA); while(1). The kernel-side
+	// fault.lock_hoard callable acquires the kernel-owned hoard lock
+	// under the graft's transaction; the spin holds it until the lock
+	// class time-out aborts the transaction and releases it.
+	GraftHoard: `
+.name fault-hoard
+.import fault.lock_hoard
+.func main
+main:
+    callk fault.lock_hoard
+spin:
+    jmp spin
+`,
+
+	// The §2.2 resource gobbler: allocate kernel heap until the
+	// graft's account hits its limit. The denial aborts the
+	// transaction, and the undo log returns every prior allocation.
+	GraftBlowout: `
+.name fault-blowout
+.import vino.kheap_alloc
+.func main
+main:
+    movi r1, 4096
+loop:
+    callk vino.kheap_alloc
+    jmp loop
+`,
+
+	// The nastiest case: take the hoard lock, push an undo record that
+	// itself fails, then trap. The abort path must survive its own
+	// undo handler blowing up and still release every lock — the
+	// regression the txn manager's deferred lock release exists for.
+	GraftAbortUndo: `
+.name fault-abortundo
+.import fault.lock_hoard
+.import fault.poison_undo
+.func main
+main:
+    callk fault.lock_hoard
+    callk fault.poison_undo
+    movi r9, 0
+    div r0, r0, r9
+    ret
+`,
+}
+
+// GraftSource returns the GIR source for a library key ("" if unknown).
+func GraftSource(key string) string {
+	return graftSources[key]
+}

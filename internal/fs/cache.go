@@ -110,5 +110,16 @@ func (c *cache) completeFetch(lba int64, data []byte, prefetched bool) {
 	}
 }
 
+// failFetch abandons an asynchronous read without inserting data,
+// waking waiters so they retry synchronously (injected-fault path).
+func (c *cache) failFetch(lba int64) {
+	if f, ok := c.fetching[lba]; ok {
+		delete(c.fetching, lba)
+		for _, t := range f.waiters {
+			t.Wake()
+		}
+	}
+}
+
 // len reports resident blocks (for tests).
 func (c *cache) len() int { return c.lru.Len() }

@@ -57,6 +57,10 @@ type Stats struct {
 	PrefetchIssued  int64
 	PrefetchUsed    int64
 	PrefetchDropped int64
+	// ReadErrors and WriteErrors count injected I/O failures surfaced
+	// to callers (fault plane; zero on unconfigured kernels).
+	ReadErrors  int64
+	WriteErrors int64
 }
 
 // New creates a file system on k with the given disk and a cache of
@@ -363,10 +367,19 @@ func (of *OpenFile) drainPrefetch() {
 		of.fs.raOutstanding++
 		of.fs.stats.PrefetchIssued++
 		lat := of.fs.disk.ReadLatency(lba)
+		scale, ferr := of.fs.k.Faults.DiskRead(lba)
+		lat *= time.Duration(scale)
 		content := of.file.blockContent(b)
 		of.fs.cache.startFetch(lba)
 		of.fs.k.Clock.After(lat, func() {
-			of.fs.cache.completeFetch(lba, content, true)
+			if ferr != nil {
+				// The prefetch failed: drop it and wake any demand
+				// reader waiting on it, which will retry synchronously.
+				of.fs.stats.ReadErrors++
+				of.fs.cache.failFetch(lba)
+			} else {
+				of.fs.cache.completeFetch(lba, content, true)
+			}
 			of.fs.raOutstanding--
 			// Memory freed up: keep draining.
 			of.drainPrefetch()
@@ -421,7 +434,10 @@ func (of *OpenFile) readRaw(t *sched.Thread, buf []byte, off int64) (int, error)
 		if chunk > n-read {
 			chunk = n - read
 		}
-		data := of.readBlock(t, b)
+		data, err := of.readBlock(t, b)
+		if err != nil {
+			return int(read), err
+		}
 		copy(buf[read:read+chunk], data[blockOff:blockOff+chunk])
 		read += chunk
 		of.fs.stats.BlocksRead++
@@ -430,8 +446,10 @@ func (of *OpenFile) readRaw(t *sched.Thread, buf []byte, off int64) (int, error)
 }
 
 // readBlock returns block b's bytes, sleeping for disk latency on a
-// miss and waiting for in-flight prefetches.
-func (of *OpenFile) readBlock(t *sched.Thread, b int64) []byte {
+// miss and waiting for in-flight prefetches. The error return is an
+// injected disk failure (fault plane); real misses always succeed in
+// the simulator.
+func (of *OpenFile) readBlock(t *sched.Thread, b int64) ([]byte, error) {
 	lba := of.file.start + b
 	c := of.fs.cache
 	if data, prefetched := c.get(lba); data != nil {
@@ -441,7 +459,7 @@ func (of *OpenFile) readBlock(t *sched.Thread, b int64) []byte {
 			of.fs.stats.PrefetchUsed++
 			of.PrefetchUsed++
 		}
-		return data
+		return data, nil
 	}
 	if c.inFlight(lba) {
 		// Partial win: the prefetch was issued but has not landed.
@@ -454,19 +472,27 @@ func (of *OpenFile) readBlock(t *sched.Thread, b int64) []byte {
 				of.fs.stats.PrefetchUsed++
 				of.PrefetchUsed++
 			}
-			return data
+			return data, nil
 		}
 	}
-	// Synchronous miss: the full stall the graft is trying to hide.
+	// Synchronous miss: the full stall the graft is trying to hide. The
+	// fault plane may degrade the access (latency multiplier) or fail
+	// it outright — the platter time is spent either way.
 	lat := of.fs.disk.ReadLatency(lba)
+	scale, ferr := of.fs.k.Faults.DiskRead(lba)
+	lat *= time.Duration(scale)
 	of.fs.stats.SyncStalls++
 	of.SyncStalls++
 	of.fs.stats.StallTime += lat
 	of.StallTime += lat
 	t.Sleep(lat)
+	if ferr != nil {
+		of.fs.stats.ReadErrors++
+		return nil, ferr
+	}
 	data := of.file.blockContent(b)
 	c.put(lba, data, false)
-	return data
+	return data, nil
 }
 
 // WriteAt overwrites bytes at off (write-through to the cache; the
@@ -487,6 +513,10 @@ func (of *OpenFile) WriteAt(t *sched.Thread, data []byte, off int64) (int, error
 		chunk := BlockSize - blockOff
 		if chunk > n-written {
 			chunk = n - written
+		}
+		if err := of.fs.k.Faults.DiskWrite(of.file.start + b); err != nil {
+			of.fs.stats.WriteErrors++
+			return int(written), err
 		}
 		blk := append([]byte(nil), of.file.blockContent(b)...)
 		copy(blk[blockOff:], data[written:written+chunk])

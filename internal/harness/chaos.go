@@ -1,0 +1,600 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"vino/internal/fault"
+	vfs "vino/internal/fs"
+	"vino/internal/graft"
+	"vino/internal/kernel"
+	"vino/internal/lock"
+	"vino/internal/netstk"
+	"vino/internal/resource"
+	"vino/internal/sched"
+	"vino/internal/vmm"
+)
+
+// ChaosConfig parameterises one chaos run: a seeded fault plan executed
+// against the paper's workloads, with survival invariants audited after
+// every abort.
+type ChaosConfig struct {
+	// Seed drives the fault plan and everything derived from it. Two
+	// runs with equal configs produce byte-identical trace dumps.
+	Seed int64
+	// Classes selects which fault classes to inject (nil = all).
+	Classes []fault.Class
+	// RulesPerClass is K, the number of injections scheduled per class
+	// (default 3).
+	RulesPerClass int
+	// Iterations sizes each workload phase (default 48; -quick uses
+	// less).
+	Iterations int
+	// TraceDepth sizes the flight recorder (default 8192 so no events
+	// drop and dumps compare exactly).
+	TraceDepth int
+}
+
+func (cfg ChaosConfig) withDefaults() ChaosConfig {
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = fault.Classes()
+	}
+	if cfg.RulesPerClass <= 0 {
+		cfg.RulesPerClass = 3
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 48
+	}
+	if cfg.TraceDepth <= 0 {
+		cfg.TraceDepth = 8192
+	}
+	return cfg
+}
+
+// ChaosReport is the outcome of a chaos run.
+type ChaosReport struct {
+	Plan *fault.Plan
+	// Injected counts fault-plane firings (environment + graft notes).
+	Injected int64
+	// GraftFaults lists every misbehaving graft installed, as
+	// "key@point".
+	GraftFaults []string
+	// Aborts, Commits and UndoPanics echo the transaction manager.
+	Aborts, Commits, UndoPanics int64
+	// ReadErrors/WriteErrors/Churned/Evictions echo the subsystems.
+	ReadErrors, WriteErrors, Churned, Evictions int64
+	// Violations lists every survival-invariant failure; empty means
+	// the kernel survived.
+	Violations []string
+	// FollowupOK reports that the clean post-fault workload succeeded.
+	FollowupOK bool
+	// Elapsed is the virtual time the whole run consumed.
+	Elapsed time.Duration
+	// TraceDump is the full flight-recorder dump (the determinism
+	// artifact: equal seeds produce equal dumps).
+	TraceDump string
+	// TraceTotal is the number of events ever emitted.
+	TraceTotal int64
+}
+
+// Survived reports whether every invariant held and the follow-up
+// workload passed.
+func (r *ChaosReport) Survived() bool { return len(r.Violations) == 0 && r.FollowupOK }
+
+// Summary renders a short human-readable result.
+func (r *ChaosReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: seed %d, %d rules, %d injections fired, %d graft faults\n",
+		r.Plan.Seed, len(r.Plan.Rules), r.Injected, len(r.GraftFaults))
+	fmt.Fprintf(&b, "chaos: txns %d committed / %d aborted, %d undo panics contained\n",
+		r.Commits, r.Aborts, r.UndoPanics)
+	fmt.Fprintf(&b, "chaos: io errors %d read / %d write, %d conns churned, %d evictions\n",
+		r.ReadErrors, r.WriteErrors, r.Churned, r.Evictions)
+	for _, g := range r.GraftFaults {
+		fmt.Fprintf(&b, "chaos: graft fault %s\n", g)
+	}
+	if len(r.Violations) > 0 {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "chaos: INVARIANT VIOLATED: %s\n", v)
+		}
+	}
+	fmt.Fprintf(&b, "chaos: follow-up workload ok: %v; survived: %v (virtual %v, %d trace events)\n",
+		r.FollowupOK, r.Survived(), r.Elapsed, r.TraceTotal)
+	return b.String()
+}
+
+// chaosRun is the mutable state of one run.
+type chaosRun struct {
+	cfg    ChaosConfig
+	k      *kernel.Kernel
+	fsys   *vfs.FS // shared: fs callables register once per kernel
+	report *ChaosReport
+	// injected tracks every misbehaving graft for post-abort audits.
+	injected []*injectedGraft
+	nInject  int
+}
+
+type injectedGraft struct {
+	key          string
+	point        string
+	g            *graft.Installed
+	expectRemove bool
+}
+
+// RunChaos executes the full chaos schedule: the read-ahead, page
+// eviction, connection and scheduling workloads run under the plan's
+// injections, survival invariants are audited after every phase (and
+// after every graft fault), the injector is disarmed, and a clean
+// follow-up workload proves the kernel is still serviceable.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	plan := fault.NewPlan(cfg.Seed, cfg.Classes, cfg.RulesPerClass)
+	k := kernel.New(kernel.Config{
+		TraceDepth: cfg.TraceDepth,
+		Seed:       cfg.Seed,
+		FaultPlan:  plan,
+	})
+	c := &chaosRun{cfg: cfg, k: k, report: &ChaosReport{Plan: plan}}
+
+	phases := []struct {
+		name string
+		run  func() error
+	}{
+		{"readahead", c.phaseReadAhead},
+		{"eviction", c.phaseEviction},
+		{"net", c.phaseNet},
+		{"scheduling", c.phaseScheduling},
+	}
+	for _, ph := range phases {
+		if err := ph.run(); err != nil {
+			return nil, fmt.Errorf("chaos %s phase: %w", ph.name, err)
+		}
+		c.checkInvariants("after " + ph.name + " phase")
+	}
+
+	// The plan is spent: silence the injector and prove the kernel
+	// still does clean work.
+	k.Faults.Disarm()
+	ok, err := c.followup()
+	if err != nil {
+		return nil, fmt.Errorf("chaos follow-up: %w", err)
+	}
+	c.report.FollowupOK = ok
+	c.checkInvariants("after follow-up")
+
+	c.finishReport()
+	return c.report, nil
+}
+
+func (c *chaosRun) finishReport() {
+	r := c.report
+	st := c.k.Txns.Stats()
+	r.Aborts, r.Commits, r.UndoPanics = st.Aborts, st.Commits, st.UndoPanics
+	r.Injected = c.k.Faults.Fired()
+	r.Elapsed = c.k.Clock.Now()
+	r.TraceDump = c.k.Trace.Dump()
+	r.TraceTotal = c.k.Trace.Total()
+}
+
+// violate records an invariant violation.
+func (c *chaosRun) violate(format string, args ...any) {
+	c.report.Violations = append(c.report.Violations, fmt.Sprintf(format, args...))
+}
+
+// checkInvariants audits the survival guarantees the paper's abort path
+// promises: no lock outlives its transaction, the transaction books
+// balance, every misbehaving graft that aborted was forcibly removed,
+// and its resource account was drained by undo.
+func (c *chaosRun) checkInvariants(stage string) {
+	if out := c.k.Locks.Outstanding(); len(out) > 0 {
+		c.violate("%s: leaked locks %v", stage, out)
+	}
+	st := c.k.Txns.Stats()
+	if st.Begins != st.Commits+st.Aborts {
+		c.violate("%s: unbalanced transactions: %d begun, %d committed, %d aborted",
+			stage, st.Begins, st.Commits, st.Aborts)
+	}
+	for _, ig := range c.injected {
+		if ig.expectRemove && !ig.g.Removed() {
+			c.violate("%s: graft fault %s@%s not removed", stage, ig.key, ig.point)
+		}
+		for _, kind := range ig.g.Account.Kinds() {
+			if used := ig.g.Account.Used(kind); used != 0 {
+				c.violate("%s: graft fault %s@%s account not drained: %s=%d",
+					stage, ig.key, ig.point, kind, used)
+			}
+		}
+	}
+}
+
+// chaosEchoPoint registers a disposable function point for graft-fault
+// installations: default result -1, tight watchdog so loop grafts are
+// cut down quickly.
+func (c *chaosRun) chaosEchoPoint(name string) *graft.Point {
+	return c.k.Grafts.RegisterPoint(&graft.Point{
+		Name:      name,
+		Kind:      graft.Function,
+		Privilege: graft.Local,
+		Default:   func(t *sched.Thread, args []int64) (int64, error) { return -1, nil },
+		Watchdog:  15 * time.Millisecond,
+	})
+}
+
+// injectGraftFault installs one library graft at a fresh point, invokes
+// it, and audits the abort machinery behind it. Wild stores are special:
+// they *succeed* under SFI (that is their invariant — containment, not
+// abort), so they are verified and then removed by hand.
+func (c *chaosRun) injectGraftFault(p *kernel.Process, key string) error {
+	c.nInject++
+	ptName := fmt.Sprintf("chaos/%d.fn", c.nInject)
+	pt := c.chaosEchoPoint(ptName)
+	c.k.Faults.Note(fault.Graft, ptName, "install "+key)
+
+	opts := graft.InstallOptions{}
+	if key == fault.GraftBlowout {
+		opts.Transfer = map[resource.Kind]int64{resource.KernelHeap: 32 << 10}
+	}
+	g, err := p.BuildAndInstall(ptName, fault.GraftSource(key), opts)
+	if err != nil {
+		return fmt.Errorf("install %s: %w", key, err)
+	}
+	ig := &injectedGraft{key: key, point: ptName, g: g, expectRemove: true}
+	c.injected = append(c.injected, ig)
+	c.report.GraftFaults = append(c.report.GraftFaults, key+"@"+ptName)
+
+	if key == fault.GraftWildStore {
+		// Containment, not abort: pre-fill the kernel memory the VM
+		// exposes, run the scribbler, verify not one byte moved.
+		km := g.VM().KernelMemory()
+		for i := range km {
+			km[i] = 0xEE
+		}
+		res, ierr := pt.Invoke(p.Thread)
+		for i, b := range km {
+			if b != 0xEE {
+				c.violate("wildstore %s: kernel memory corrupted at +%d", ptName, i)
+				break
+			}
+		}
+		if ierr != nil || res != 0 {
+			c.violate("wildstore %s: expected contained success, got res=%d err=%v", ptName, res, ierr)
+		}
+		c.k.Grafts.Remove(g)
+		c.checkInvariants("after graft fault " + key)
+		return nil
+	}
+
+	res, ierr := pt.Invoke(p.Thread)
+	if ierr == nil {
+		c.violate("graft fault %s@%s: expected an abort, got clean result %d", key, ptName, res)
+	}
+	if res != -1 {
+		c.violate("graft fault %s@%s: fallback default not used (res=%d)", key, ptName, res)
+	}
+	if key == fault.GraftAbortUndo && c.k.Txns.Stats().UndoPanics == 0 {
+		c.violate("graft fault %s@%s: poisoned undo did not run", key, ptName)
+	}
+	c.checkInvariants("after graft fault " + key)
+	return nil
+}
+
+// graftFaultsDue returns the library keys scheduled for workload
+// iteration i (1-based): a Graft/Lock rule with EveryN == i fires once.
+func (c *chaosRun) graftFaultsDue(i int) []string {
+	var keys []string
+	for _, r := range c.report.Plan.Rules {
+		if (r.Class == fault.Graft || r.Class == fault.Lock) && r.EveryN == int64(i) {
+			keys = append(keys, r.Graft)
+		}
+	}
+	return keys
+}
+
+// phaseReadAhead drives the §4.1 read-ahead workload — announced
+// sequential reads through a grafted compute-ra policy — under disk
+// error/latency injections, firing scheduled graft faults between
+// reads. Injected read failures must surface as errors, never corrupt
+// state.
+func (c *chaosRun) phaseReadAhead() error {
+	c.fsys = vfs.New(c.k, vfs.NewDisk(vfs.FujitsuM2694ESA()), 64)
+	fsys := c.fsys
+	file := fsys.Create("chaos-db", 4<<20, graft.Root, false)
+	var fail error
+	p := c.k.SpawnProcess("chaos-ra", graft.Root, func(p *kernel.Process) {
+		t := p.Thread
+		of, err := fsys.Open(t, "chaos-db")
+		if err != nil {
+			fail = err
+			return
+		}
+		point := of.RAPoint()
+		g, err := p.BuildAndInstall(point.Name, raGraftBody, graft.InstallOptions{})
+		if err != nil {
+			fail = err
+			return
+		}
+		buf := make([]byte, vfs.BlockSize)
+		blocks := file.Blocks()
+		for i := 1; i <= c.cfg.Iterations; i++ {
+			off := (int64(i) % blocks) * vfs.BlockSize
+			next := (off + vfs.BlockSize) % (blocks * vfs.BlockSize)
+			if !g.Removed() {
+				heap := g.VM().Heap()
+				poke64(heap, 0, next)
+				poke64(heap, 8, vfs.BlockSize)
+				poke64(heap, 16, int64(of.FD()))
+			}
+			if _, err := of.ReadAt(t, buf, off); err != nil {
+				if !errors.Is(err, fault.ErrInjected) {
+					fail = fmt.Errorf("read %d: %w", i, err)
+					return
+				}
+			}
+			if i%8 == 0 {
+				if _, err := of.WriteAt(t, buf[:512], off); err != nil && !errors.Is(err, fault.ErrInjected) {
+					fail = fmt.Errorf("write %d: %w", i, err)
+					return
+				}
+			}
+			for _, key := range c.graftFaultsDue(i) {
+				if err := c.injectGraftFault(p, key); err != nil {
+					fail = err
+					return
+				}
+			}
+		}
+		of.Close()
+	})
+	_ = p
+	if err := c.k.Run(); err != nil {
+		return err
+	}
+	st := fsys.Stats()
+	c.report.ReadErrors += st.ReadErrors
+	c.report.WriteErrors += st.WriteErrors
+	return fail
+}
+
+// phaseEviction drives the §4.2 paging workload — a working set larger
+// than physical memory — while pressure spikes steal frames, with a
+// loop graft dropped onto the eviction point mid-run when graft faults
+// are in the plan.
+func (c *chaosRun) phaseEviction() error {
+	v := vmm.New(c.k, 96)
+	wantGraft := len(c.report.Plan.RulesFor(fault.Graft)) > 0
+	var fail error
+	c.k.SpawnProcess("chaos-vm", graft.Root, func(p *kernel.Process) {
+		t := p.Thread
+		vas := v.NewVAS(t)
+		defer vas.Destroy()
+		working := int64(160) // > 96 frames: constant eviction
+		for i := 1; i <= c.cfg.Iterations; i++ {
+			for j := int64(0); j < 8; j++ {
+				vpn := (int64(i)*7 + j*13) % working
+				if j%3 == 0 {
+					vas.TouchWrite(t, vpn)
+				} else {
+					vas.Touch(t, vpn)
+				}
+			}
+			if wantGraft && i == c.cfg.Iterations/2 {
+				// A policy graft that never answers: the eviction
+				// watchdog must cut it down and fall back to the
+				// global algorithm.
+				pt := vas.EvictPoint()
+				c.k.Faults.Note(fault.Graft, pt.Name, "install "+fault.GraftLoop)
+				g, err := p.BuildAndInstall(pt.Name, fault.GraftSource(fault.GraftLoop), graft.InstallOptions{})
+				if err != nil {
+					fail = err
+					return
+				}
+				c.injected = append(c.injected, &injectedGraft{
+					key: fault.GraftLoop, point: pt.Name, g: g, expectRemove: true,
+				})
+				c.report.GraftFaults = append(c.report.GraftFaults, fault.GraftLoop+"@"+pt.Name)
+			}
+		}
+	})
+	if err := c.k.Run(); err != nil {
+		return err
+	}
+	c.report.Evictions += v.Stats().Evictions
+	return fail
+}
+
+// phaseNet drives the §3.5 event-graft workload — an in-kernel echo
+// server — through connection churn: reset connections abort their
+// handler's transaction, the dead handler is removed, and the server
+// process reinstalls it and keeps serving.
+func (c *chaosRun) phaseNet() error {
+	n := netstk.New(c.k)
+	port := n.Listen("tcp", 7)
+	const echoSrc = `
+.name chaos-echo
+.import net.read
+.import net.write
+.import net.close
+.func main
+main:
+    mov r6, r1
+    addi r2, r10, 512
+    movi r3, 128
+    callk net.read
+    jz r0, out
+    mov r4, r0
+    mov r1, r6
+    addi r2, r10, 512
+    mov r3, r4
+    callk net.write
+out:
+    mov r1, r6
+    callk net.close
+    ret
+`
+	var fail error
+	c.k.SpawnProcess("chaos-net", graft.Root, func(p *kernel.Process) {
+		install := func() error {
+			_, err := p.BuildAndInstall(port.Point().Name, echoSrc,
+				graft.InstallOptions{Transfer: map[resource.Kind]int64{resource.Memory: 4096}})
+			return err
+		}
+		if err := install(); err != nil {
+			fail = err
+			return
+		}
+		served, churned := 0, 0
+		for i := 1; i <= c.cfg.Iterations/2; i++ {
+			conn, err := n.Connect(c.k.Sched, "tcp", 7, []byte("ping"))
+			if err != nil {
+				fail = err
+				return
+			}
+			for w := 0; w < 30 && !conn.Closed(); w++ {
+				p.Thread.Yield()
+			}
+			if len(conn.Response()) > 0 {
+				served++
+			} else {
+				churned++
+			}
+			// A churned connection kills the handler (its transaction
+			// aborts on the dead socket); the server notices and
+			// re-grafts — the recovery loop a real in-kernel server
+			// would run.
+			if len(port.Point().Handlers()) == 0 {
+				if err := install(); err != nil {
+					fail = err
+					return
+				}
+			}
+		}
+		if served == 0 {
+			fail = fmt.Errorf("echo server never served (%d churned)", churned)
+		}
+	})
+	if err := c.k.Run(); err != nil {
+		return err
+	}
+	c.report.Churned += n.Stats().Churned
+	return fail
+}
+
+// phaseScheduling runs bystander spinners while a hog graft takes the
+// kernel hoard lock and spins; a contender's blocked acquisition starts
+// the contention clock, the class time-out aborts the hog's
+// transaction, and the contender must obtain the lock.
+func (c *chaosRun) phaseScheduling() error {
+	iters := c.cfg.Iterations
+	spun := make([]int, 2)
+	for s := 0; s < 2; s++ {
+		s := s
+		c.k.SpawnProcess(fmt.Sprintf("chaos-spin%d", s), graft.Root, func(p *kernel.Process) {
+			for i := 0; i < iters; i++ {
+				p.Thread.Charge(200 * time.Microsecond)
+				p.Thread.Yield()
+				spun[s]++
+			}
+		})
+	}
+	wantHoard := len(c.report.Plan.RulesFor(fault.Lock)) > 0 || len(c.report.Plan.RulesFor(fault.Graft)) > 0
+	var fail error
+	contenderGot := false
+	if wantHoard {
+		c.k.SpawnProcess("chaos-hog", graft.Root, func(p *kernel.Process) {
+			c.nInject++
+			ptName := fmt.Sprintf("chaos/%d.fn", c.nInject)
+			// Loose watchdog: this injection should abort via the lock
+			// time-out path (~20-40 ms); the watchdog is only a backstop.
+			pt := c.k.Grafts.RegisterPoint(&graft.Point{
+				Name:      ptName,
+				Kind:      graft.Function,
+				Privilege: graft.Local,
+				Default:   func(t *sched.Thread, args []int64) (int64, error) { return -1, nil },
+				Watchdog:  200 * time.Millisecond,
+			})
+			c.k.Faults.Note(fault.Lock, ptName, "install "+fault.GraftHoard)
+			g, err := p.BuildAndInstall(ptName, fault.GraftSource(fault.GraftHoard), graft.InstallOptions{})
+			if err != nil {
+				fail = err
+				return
+			}
+			c.injected = append(c.injected, &injectedGraft{
+				key: fault.GraftHoard, point: ptName, g: g, expectRemove: true,
+			})
+			c.report.GraftFaults = append(c.report.GraftFaults, fault.GraftHoard+"@"+ptName)
+			res, ierr := pt.Invoke(p.Thread)
+			if ierr == nil || res != -1 {
+				c.violate("hoard graft: expected lock-timeout abort, got res=%d err=%v", res, ierr)
+			}
+		})
+		c.k.SpawnProcess("chaos-contender", graft.Root, func(p *kernel.Process) {
+			hoard := c.k.FaultHoardLock()
+			// Wait until the hog actually holds the lock so the
+			// acquisition below genuinely contends and arms the
+			// class time-out.
+			for i := 0; i < 500 && hoard.HolderCount() == 0; i++ {
+				p.Thread.Sleep(time.Millisecond)
+			}
+			hoard.Acquire(p.Thread, lock.Exclusive)
+			contenderGot = true
+			_ = hoard.Release(p.Thread)
+		})
+	}
+	if err := c.k.Run(); err != nil {
+		return err
+	}
+	if fail != nil {
+		return fail
+	}
+	if spun[0] < iters || spun[1] < iters {
+		c.violate("scheduling: bystander starved (%d/%d of %d)", spun[0], spun[1], iters)
+	}
+	if wantHoard && !contenderGot {
+		c.violate("scheduling: contender never obtained the hoarded lock")
+	}
+	return nil
+}
+
+// followup proves the kernel is still serviceable after the storm: a
+// disarmed injector, a fresh file read with a null policy graft that
+// commits, and clean lock books.
+func (c *chaosRun) followup() (bool, error) {
+	fsys := c.fsys
+	fsys.Create("chaos-followup", 1<<20, graft.Root, false)
+	before := fsys.Stats()
+	ok := true
+	var fail error
+	c.k.SpawnProcess("chaos-followup", graft.Root, func(p *kernel.Process) {
+		t := p.Thread
+		of, err := fsys.Open(t, "chaos-followup")
+		if err != nil {
+			fail = err
+			return
+		}
+		defer of.Close()
+		point := of.RAPoint()
+		if _, err := p.BuildAndInstall(point.Name, nullGraftSrc, graft.InstallOptions{}); err != nil {
+			fail = err
+			return
+		}
+		buf := make([]byte, vfs.BlockSize)
+		for i := int64(0); i < 16; i++ {
+			if _, err := of.ReadAt(t, buf, i*vfs.BlockSize); err != nil {
+				ok = false
+				return
+			}
+		}
+	})
+	if err := c.k.Run(); err != nil {
+		return false, err
+	}
+	if fail != nil {
+		return false, fail
+	}
+	if st := fsys.Stats(); st.ReadErrors != before.ReadErrors || st.WriteErrors != before.WriteErrors {
+		ok = false // the disarmed injector must not fire
+	}
+	return ok, nil
+}

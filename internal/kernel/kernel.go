@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"vino/internal/fault"
 	"vino/internal/graft"
 	"vino/internal/lock"
 	"vino/internal/resource"
@@ -41,6 +42,14 @@ type Config struct {
 	VMCosts *sfi.Costs
 	// TraceDepth sizes the kernel flight recorder (default 256 events).
 	TraceDepth int
+	// Seed drives deterministic pseudo-random decisions (fault plans,
+	// chaos workloads). Zero is a valid seed.
+	Seed int64
+	// FaultPlan, when non-nil, arms the fault-injection plane: the
+	// kernel builds an Injector over the plan and every hooked
+	// subsystem (disk I/O, frame allocator, connection dispatch)
+	// consults it. Nil keeps all hooks inert.
+	FaultPlan *fault.Plan
 }
 
 // Kernel is one simulated machine.
@@ -54,13 +63,21 @@ type Kernel struct {
 	// examples and tests use it to build loadable images in-process.
 	Signer *sfi.Signer
 	// Trace is the kernel's flight recorder: graft lifecycle events,
-	// lock time-outs and evictions land here.
+	// lock time-outs, evictions and fault injections land here.
 	Trace *trace.Buffer
+	// Faults interprets the configured fault plan. Nil when no plan is
+	// configured; every hook method is nil-safe, so subsystems consult
+	// it unconditionally.
+	Faults *fault.Injector
+	// Seed echoes Config.Seed for subsystems that derive their own
+	// deterministic decisions from it.
+	Seed int64
 
 	log        []string
 	processes  map[string]*Process
 	nextPID    int
 	delegation *delegationState
+	hoardLock  *lock.Lock
 }
 
 // New builds a kernel.
@@ -98,9 +115,16 @@ func New(cfg Config) *Kernel {
 		Grafts:    reg,
 		Signer:    signer,
 		Trace:     tr,
+		Seed:      cfg.Seed,
 		processes: make(map[string]*Process),
 	}
+	if cfg.FaultPlan != nil {
+		k.Faults = fault.NewInjector(cfg.FaultPlan, clock, tr)
+	}
 	k.registerBaseCallables()
+	if cfg.FaultPlan != nil {
+		k.registerFaultCallables()
+	}
 	return k
 }
 
@@ -237,6 +261,42 @@ func (k *Kernel) registerBaseCallables() {
 		return 0, nil
 	})
 }
+
+// registerFaultCallables installs the kernel functions the graft fault
+// library imports. They exist only on kernels configured with a fault
+// plan — production configurations never expose them.
+func (k *Kernel) registerFaultCallables() {
+	k.hoardLock = k.Locks.NewLock("fault/hoard", &lock.Class{
+		Name:    "fault",
+		Timeout: 20 * time.Millisecond,
+	})
+	// fault.lock_hoard(): acquire the kernel-owned hoard lock under the
+	// graft's transaction — the first half of the paper's
+	// lock(resourceA); while(1) misbehavior.
+	k.Grafts.RegisterCallable("fault.lock_hoard", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		if ctx.Txn != nil {
+			ctx.Txn.AcquireLock(k.hoardLock, lock.Exclusive)
+		} else {
+			k.hoardLock.Acquire(ctx.Thread, lock.Exclusive)
+		}
+		return 0, nil
+	})
+	// fault.poison_undo(): push an undo record that blows up when the
+	// abort path runs it. Exercises the guarantee that a fault inside
+	// an undo handler cannot wedge the lock manager.
+	k.Grafts.RegisterCallable("fault.poison_undo", func(ctx *graft.Ctx, args [5]int64) (int64, error) {
+		if ctx.Txn != nil {
+			ctx.Txn.PushUndo("fault.poison", func() {
+				panic("fault: poisoned undo handler")
+			})
+		}
+		return 0, nil
+	})
+}
+
+// FaultHoardLock returns the kernel-owned lock the fault library's
+// hoard grafts contend on (nil when no fault plan is configured).
+func (k *Kernel) FaultHoardLock() *lock.Lock { return k.hoardLock }
 
 // readGraftBytes validates that [addr, addr+n) lies inside the graft's
 // segment and returns a copy.

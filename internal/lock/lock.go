@@ -151,6 +151,7 @@ type Manager struct {
 	// Trace, when set, records contention time-outs.
 	Trace *trace.Buffer
 
+	locks []*Lock // every lock ever created, for invariant audits
 	stats Stats
 }
 
@@ -189,8 +190,27 @@ func (m *Manager) NewLock(name string, c *Class) *Lock {
 	if c == nil {
 		panic("lock: nil class")
 	}
-	return &Lock{name: name, class: c, m: m, holders: make(map[*sched.Thread]*hold)}
+	l := &Lock{name: name, class: c, m: m, holders: make(map[*sched.Thread]*hold)}
+	m.locks = append(m.locks, l)
+	return l
 }
+
+// Outstanding returns the names of every lock that still has a holder
+// or a queued waiter. The chaos harness asserts it is empty after every
+// abort: an abort that leaks a lock is exactly the wedge the paper's
+// two-phase release exists to prevent.
+func (m *Manager) Outstanding() []string {
+	var out []string
+	for _, l := range m.locks {
+		if len(l.holders) > 0 || len(l.waiters) > 0 {
+			out = append(out, l.name)
+		}
+	}
+	return out
+}
+
+// Idle reports whether no lock in the manager is held or waited on.
+func (m *Manager) Idle() bool { return len(m.Outstanding()) == 0 }
 
 // Name returns the lock's diagnostic name.
 func (l *Lock) Name() string { return l.name }

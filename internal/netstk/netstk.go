@@ -38,6 +38,9 @@ type Stats struct {
 	BytesIn     int64
 	BytesOut    int64
 	Rejected    int64
+	// Churned counts connections reset by the fault plane before any
+	// handler ran (connection-churn injection).
+	Churned int64
 }
 
 // New creates a network stack and registers its graft-callable
@@ -117,6 +120,13 @@ func (n *Net) Connect(s *sched.Scheduler, proto string, num int, request []byte)
 	n.conns[c.ID] = c
 	n.stats.Connections++
 	n.stats.BytesIn += int64(len(request))
+	if n.k.Faults.DropConnection(c.ID) {
+		// Connection churn: the peer resets before any handler runs.
+		// Handlers are still triggered — they must survive finding a
+		// dead socket (their net.read aborts their transaction).
+		c.closed = true
+		n.stats.Churned++
+	}
 	p.point.Trigger(s, c.ID)
 	return c, nil
 }

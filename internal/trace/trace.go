@@ -28,6 +28,7 @@ const (
 	LockTimeout   Kind = "lock-timeout"
 	Eviction      Kind = "eviction"
 	GraftOverrule Kind = "graft-overrule"
+	FaultInject   Kind = "fault-inject"
 )
 
 // Event is one recorded occurrence.

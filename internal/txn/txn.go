@@ -93,6 +93,7 @@ type Stats struct {
 	Aborts     int64
 	NestedMax  int
 	UndosRun   int64
+	UndoPanics int64
 	LocksFreed int64
 }
 
@@ -294,6 +295,12 @@ func (tx *Txn) Commit() {
 // acquisition order. Abort never unwinds the parent; the caller decides
 // whether to propagate. Abort is safe against further asynchronous abort
 // requests: they are held back while cleanup runs.
+//
+// Lock release is deferred and per-undo panics are contained, so a
+// fault that fires *inside* an undo handler cannot leave the lock
+// manager wedged: the remaining undos still run and every registered
+// lock is still released. Kill signals are the one exception — they
+// re-panic after cleanup so thread destruction keeps working.
 func (tx *Txn) Abort() {
 	tx.mustBeCurrentInnermost("Abort")
 	t := tx.thread
@@ -303,19 +310,47 @@ func (tx *Txn) Abort() {
 		tx.m.lastAbort = t.Scheduler().Clock().Now() - start
 		t.PopNoAbort()
 	}()
+	// Deferred (not sequenced after the undo loop) so that locks are
+	// released even if an undo handler panics its way out of Abort.
+	defer tx.releaseLocks()
 	if c := tx.m.Costs.Abort; c > 0 {
 		t.Charge(c)
 	}
 	tx.m.stats.Aborts++
 	tx.state = Aborted
 	tx.m.setCurrent(t, tx.parent)
+	var rekill any
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		tx.m.stats.UndosRun++
-		tx.undo[i].Fn()
+		if r := tx.runUndo(tx.undo[i]); r != nil {
+			rekill = r
+			break
+		}
 	}
 	tx.undo = nil
 	tx.onCommit = nil // deferred deletes die with the transaction
-	tx.releaseLocks()
+	if rekill != nil {
+		panic(rekill) // deferred releaseLocks still runs first
+	}
+}
+
+// runUndo executes one undo record, absorbing any panic it raises. A
+// scheduler kill signal is returned (non-nil) so Abort can re-panic it
+// after releasing locks; every other panic is counted and swallowed —
+// a broken undo handler must not stop the rest of the stack from
+// unwinding.
+func (tx *Txn) runUndo(u Undo) (kill any) {
+	defer func() {
+		if r := recover(); r != nil {
+			if sched.IsKill(r) {
+				kill = r
+				return
+			}
+			tx.m.stats.UndoPanics++
+		}
+	}()
+	u.Fn()
+	return nil
 }
 
 func (tx *Txn) releaseLocks() {

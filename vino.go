@@ -29,9 +29,16 @@
 // connection events drive event grafts (packages internal/simclock,
 // internal/sched, internal/fs, internal/vmm, internal/netstk).
 //
+// A third mechanism exercises the first two: a deterministic
+// fault-injection plane (package internal/fault, surfaced as FaultPlan
+// and RunChaos) that schedules disk errors, latency spikes, frame
+// pressure, connection churn, and a library of misbehaving grafts from
+// a single seed, so "the kernel survives misbehavior" is a replayable,
+// byte-identical-trace property rather than an anecdote.
+//
 // # Quick start
 //
-//	k := vino.NewKernel(vino.Config{})
+//	k := vino.New(vino.WithTrace(1024))
 //	fsys := vino.NewFS(k, vino.NewDisk(vino.FujitsuDisk()), 4096)
 //	fsys.Create("db", 12<<20, 100, false)
 //	k.SpawnProcess("app", 100, func(p *vino.Process) {
@@ -40,6 +47,16 @@
 //		// ... reads now consult the graft for prefetch decisions.
 //	})
 //	_ = k.Run()
+//
+// To build images out-of-process, use the toolchain:
+//
+//	tc := vino.ToolchainFor(k)
+//	img, err := tc.Build(graftSource, vino.BuildOptions{Optimize: true})
+//
+// To shake the kernel under deterministic faults:
+//
+//	report, err := vino.RunChaos(vino.ChaosConfig{Seed: 7})
+//	fmt.Println(report.Summary()) // report.Survived() is the verdict
 //
 // See examples/ for complete programs and internal/harness for the code
 // that regenerates every table in the paper's evaluation.
@@ -66,7 +83,11 @@ type Config = kernel.Config
 // Process is a user-level process with an identity and resource limits.
 type Process = kernel.Process
 
-// NewKernel builds a kernel.
+// NewKernel builds a kernel from an explicit Config.
+//
+// Deprecated: use New with functional options (WithTrace, WithSeed,
+// WithFaultPlan, ...). NewKernel remains for callers that already hold
+// a Config value.
 func NewKernel(cfg Config) *Kernel { return kernel.New(cfg) }
 
 // UID identifies a user; Root may graft global policy points.
@@ -129,18 +150,21 @@ type Image = sfi.Image
 // BuildSafeGraft runs the full trusted toolchain (assemble, verify,
 // SFI-rewrite, re-verify, sign) on GIR assembly source. Images built
 // with the kernel's Signer are loadable.
+//
+// Deprecated: use Toolchain.Build, which also exposes the optimizer
+// and unsafe builds behind one option struct.
 func BuildSafeGraft(src string, signer *sfi.Signer) (*Image, error) {
-	img, _, err := sfi.BuildSafe(src, signer)
-	return img, err
+	return Toolchain{Signer: signer}.Build(src, BuildOptions{})
 }
 
 // BuildOptimizedGraft is BuildSafeGraft with static discharge enabled:
 // provably in-segment accesses carry no run-time sandbox checks (the
 // optimizer the paper's §4.4 asks for), re-proven by the loader's
 // verifier.
+//
+// Deprecated: use Toolchain.Build with BuildOptions{Optimize: true}.
 func BuildOptimizedGraft(src string, signer *sfi.Signer) (*Image, error) {
-	img, _, err := sfi.BuildSafeOptimized(src, signer)
-	return img, err
+	return Toolchain{Signer: signer}.Build(src, BuildOptions{Optimize: true})
 }
 
 // TraceBuffer is the kernel's flight recorder (Kernel.Trace).
