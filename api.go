@@ -75,6 +75,14 @@ func WithUnsafeGrafts() Option {
 	return func(c *Config) { c.UnsafeGrafts = true }
 }
 
+// WithCPUs sets the number of simulated CPUs (default 1). Each CPU gets
+// its own run queue with a deterministic load balancer; equal seeds at
+// equal CPU counts produce byte-identical traces, and one CPU is
+// byte-identical to the classic single-queue kernel.
+func WithCPUs(n int) Option {
+	return func(c *Config) { c.NumCPUs = n }
+}
+
 // -----------------------------------------------------------------------------
 // Toolchain: the trusted graft build pipeline as a value.
 // -----------------------------------------------------------------------------
@@ -265,11 +273,21 @@ const (
 	FaultLock     = fault.Lock
 )
 
-// FaultClasses returns every class, in canonical order.
+// FaultNetIO is the extended-surface class: mid-stream read/write
+// failures on established connections. It is not in FaultClasses();
+// select it explicitly or via FaultExtendedClasses.
+const FaultNetIO = fault.NetIO
+
+// FaultClasses returns every classic class, in canonical order. The set
+// is frozen; new classes join FaultExtendedClasses instead.
 func FaultClasses() []FaultClass { return fault.Classes() }
 
+// FaultExtendedClasses returns the classic classes plus the extended
+// surface (netio).
+func FaultExtendedClasses() []FaultClass { return fault.ExtendedClasses() }
+
 // ParseFaultClasses parses a comma-separated class list ("disk,graft");
-// empty input selects all classes.
+// empty input selects all classic classes.
 func ParseFaultClasses(s string) ([]FaultClass, error) { return fault.ParseClasses(s) }
 
 // FaultRule schedules one injection.
@@ -286,6 +304,12 @@ type FaultPlan = fault.Plan
 func NewFaultPlan(seed int64, classes []FaultClass, rulesPerClass int) *FaultPlan {
 	return fault.NewPlan(seed, classes, rulesPerClass)
 }
+
+// DecodeFaultPlan parses the textual plan form produced by
+// FaultPlan.Encode — the interchange format behind `vinosim -faultfile`,
+// letting a reproducer be saved, hand-edited (e.g. minimised) and
+// replayed.
+func DecodeFaultPlan(s string) (*FaultPlan, error) { return fault.Decode(s) }
 
 // FaultInjector interprets a plan at run time (Kernel.Faults). All
 // methods are nil-safe; Disarm/Rearm gate injection without discarding

@@ -194,3 +194,29 @@ func TestFaultSurfaceRoundTrip(t *testing.T) {
 		t.Fatal("fault sentinel identity broken")
 	}
 }
+
+// TestSMPSurface covers the multi-CPU option and the fault-plan
+// interchange helpers.
+func TestSMPSurface(t *testing.T) {
+	k := vino.New(vino.WithCPUs(4))
+	if got := k.NumCPUs(); got != 4 {
+		t.Fatalf("NumCPUs = %d, want 4", got)
+	}
+	if got := vino.New().NumCPUs(); got != 1 {
+		t.Fatalf("default NumCPUs = %d, want 1", got)
+	}
+
+	ext := vino.FaultExtendedClasses()
+	if len(ext) != len(vino.FaultClasses())+1 || ext[len(ext)-1] != vino.FaultNetIO {
+		t.Fatalf("extended classes = %v", ext)
+	}
+
+	plan := vino.NewFaultPlan(11, ext, 2)
+	back, err := vino.DecodeFaultPlan(plan.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Encode() != plan.Encode() {
+		t.Fatal("fault plan did not round-trip through its text form")
+	}
+}

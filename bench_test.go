@@ -521,6 +521,34 @@ func BenchmarkVirtualTables(b *testing.B) {
 	})
 }
 
+// BenchmarkSMPThroughput runs the fixed multi-CPU batch workload at
+// each CPU count, light (independent compute) and heavy (one shared
+// exclusive lock held across preemption). The reported metric is
+// simulated aggregate throughput: light should scale near-linearly with
+// CPUs, heavy should stay nearly flat — the cost of contention the SMP
+// scheduler makes visible.
+func BenchmarkSMPThroughput(b *testing.B) {
+	for _, ncpu := range []int{1, 2, 4} {
+		for _, variant := range []struct {
+			name      string
+			contended bool
+		}{{"light", false}, {"heavy", true}} {
+			b.Run(fmt.Sprintf("%s/ncpu=%d", variant.name, ncpu), func(b *testing.B) {
+				var last *harness.SMPResult
+				for i := 0; i < b.N; i++ {
+					r, err := harness.SMPThroughput(ncpu, 32, variant.contended)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(last.Throughput, "simops/vsec")
+				b.ReportMetric(float64(last.LockWaits), "lockwaits")
+			})
+		}
+	}
+}
+
 // TestPublicFacade smoke-tests the root package aliases.
 func TestPublicFacade(t *testing.T) {
 	k := vino.NewKernel(vino.Config{ZeroTxnCosts: true})

@@ -9,6 +9,8 @@
 //	vinobench -sweep abort    # the §4.5 abort-cost model
 //	vinobench -sweep readahead
 //	vinobench -sweep eviction
+//	vinobench -sweep smp      # multi-CPU throughput scaling
+//	vinobench -sweep smp -ncpu 8   # sweep 1,2,4,8 simulated CPUs
 //	vinobench -ablation lock  # Figures 4/5 policy-encapsulation cost
 //	vinobench -ablation sfidensity
 //	vinobench -check          # semantic cross-checks (SFI-rewrite equivalence)
@@ -25,10 +27,22 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	table := flag.Int("table", 0, "reproduce one paper table (3-7)")
-	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout")
+	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp")
 	ablation := flag.String("ablation", "", "design-choice ablation: lock | sfidensity | misfitopt | txn")
 	check := flag.Bool("check", false, "run semantic cross-checks")
+	ncpu := flag.Int("ncpu", 4, "smp sweep: largest simulated CPU count (sweeps powers of two up to it)")
 	flag.Parse()
+
+	smpCounts := func() []int {
+		var out []int
+		for n := 1; n <= *ncpu; n *= 2 {
+			out = append(out, n)
+		}
+		if len(out) == 0 {
+			out = []int{1}
+		}
+		return out
+	}
 
 	ran := false
 	fail := func(err error) {
@@ -106,6 +120,12 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(harness.FormatTimeoutSweep(pts))
+		case "smp":
+			s, err := harness.SMPTable(smpCounts(), 32)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(s)
 		default:
 			fail(fmt.Errorf("unknown sweep %q", name))
 		}
@@ -164,6 +184,7 @@ func main() {
 		runSweep("readahead")
 		runSweep("eviction")
 		runSweep("timeout")
+		runSweep("smp")
 		runAblation("lock")
 		runAblation("sfidensity")
 		runAblation("misfitopt")

@@ -11,6 +11,10 @@
 //	vinosim -chaos -seed=7                   # chaos run, all fault classes
 //	vinosim -chaos -seed=7 -faults=disk,lock # chaos run, selected classes
 //	vinosim -chaos -seed=1 -quick            # abbreviated chaos smoke
+//	vinosim -chaos -seed=7 -ncpu=4           # same audit on a 4-CPU kernel
+//	vinosim -chaos -seed=7 -extended         # + netio faults and pager phase
+//	vinosim -chaos -seed=7 -writeplan=p.txt  # save the derived plan
+//	vinosim -chaos -faultfile=p.txt          # replay a saved/edited plan
 package main
 
 import (
@@ -48,10 +52,23 @@ func main() {
 	seed := flag.Int64("seed", 0, "chaos: fault-plan seed (same seed = identical trace)")
 	faults := flag.String("faults", "", "chaos: comma-separated fault classes (disk,latency,pressure,net,graft,lock); empty = all")
 	quick := flag.Bool("quick", false, "chaos: abbreviated run for CI smoke tests")
+	ncpu := flag.Int("ncpu", 1, "chaos: simulated CPU count (same seed + same ncpu = identical trace)")
+	extended := flag.Bool("extended", false, "chaos: widen the fault surface (netio mid-stream faults, pager phase)")
+	faultfile := flag.String("faultfile", "", "chaos: replay the fault plan decoded from this file instead of deriving one from -seed")
+	writeplan := flag.String("writeplan", "", "chaos: save the run's fault plan (text form) to this file")
 	flag.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after each scenario or chaos run")
 	flag.Parse()
 	if *chaos {
-		if err := runChaos(*seed, *faults, *quick); err != nil {
+		opt := chaosOptions{
+			seed:      *seed,
+			faults:    *faults,
+			quick:     *quick,
+			ncpu:      *ncpu,
+			extended:  *extended,
+			faultfile: *faultfile,
+			writeplan: *writeplan,
+		}
+		if err := runChaos(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 			os.Exit(1)
 		}
@@ -87,22 +104,61 @@ func main() {
 	}
 }
 
+// chaosOptions collects the -chaos flag set.
+type chaosOptions struct {
+	seed      int64
+	faults    string
+	quick     bool
+	ncpu      int
+	extended  bool
+	faultfile string
+	writeplan string
+}
+
 // runChaos drives the fault-injection harness: derive a plan from the
-// seed, run the four workload phases under injection, print the verdict.
-func runChaos(seed int64, faults string, quick bool) error {
-	classes, err := vino.ParseFaultClasses(faults)
+// seed (or decode one from -faultfile), run the workload phases under
+// injection, print the verdict, and optionally save the plan's text
+// form for later replay.
+func runChaos(opt chaosOptions) error {
+	classes, err := vino.ParseFaultClasses(opt.faults)
 	if err != nil {
 		return err
 	}
-	cfg := vino.ChaosConfig{Seed: seed, Classes: classes}
-	if quick {
+	cfg := vino.ChaosConfig{
+		Seed:     opt.seed,
+		Classes:  classes,
+		NCPU:     opt.ncpu,
+		Extended: opt.extended,
+	}
+	if opt.faults == "" {
+		// Let withDefaults pick the class set, so -extended widens it.
+		cfg.Classes = nil
+	}
+	if opt.faultfile != "" {
+		data, err := os.ReadFile(opt.faultfile)
+		if err != nil {
+			return err
+		}
+		plan, err := vino.DecodeFaultPlan(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", opt.faultfile, err)
+		}
+		cfg.Plan = plan
+	}
+	if opt.quick {
 		cfg.Iterations = 16
 	}
 	report, err := vino.RunChaos(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("chaos plan (seed %d):\n%s", seed, report.Plan)
+	if opt.writeplan != "" {
+		if err := os.WriteFile(opt.writeplan, []byte(report.Plan.Encode()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("chaos plan saved to %s\n", opt.writeplan)
+	}
+	fmt.Printf("chaos plan (seed %d):\n%s", report.Plan.Seed, report.Plan)
 	fmt.Print(report.Summary())
 	if showTrace {
 		fmt.Print(report.TraceDump)

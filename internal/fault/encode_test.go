@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"vino/internal/simclock"
+	"vino/internal/trace"
+)
+
+func TestPlanEncodeDecodeRoundTrip(t *testing.T) {
+	p := NewPlan(42, ExtendedClasses(), 3)
+	p.Rules = append(p.Rules,
+		Rule{Class: Latency, EveryN: 9, SeekFactor: 4, TransferFactor: 2},
+		Rule{Class: Latency, At: 55 * time.Millisecond, Window: 40 * time.Millisecond, Factor: 3},
+	)
+	enc := p.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v\n%s", err, enc)
+	}
+	if got.Seed != p.Seed {
+		t.Fatalf("seed %d, want %d", got.Seed, p.Seed)
+	}
+	if len(got.Rules) != len(p.Rules) {
+		t.Fatalf("%d rules, want %d", len(got.Rules), len(p.Rules))
+	}
+	for i := range p.Rules {
+		if got.Rules[i] != p.Rules[i] {
+			t.Errorf("rule %d: %+v != %+v", i, got.Rules[i], p.Rules[i])
+		}
+	}
+	// Encoding is stable: a second round trip is byte-identical.
+	if got.Encode() != enc {
+		t.Fatal("re-encoding is not byte-identical")
+	}
+}
+
+func TestDecodeHandWritten(t *testing.T) {
+	src := `
+# minimized reproducer for seed 77
+vino-fault-plan v1
+seed 77
+rule disk every=17 write
+rule netio every=3
+rule latency at=5ms window=20ms seek=6
+`
+	p, err := Decode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 77 || len(p.Rules) != 3 {
+		t.Fatalf("got seed %d, %d rules", p.Seed, len(p.Rules))
+	}
+	if p.Rules[1].Class != NetIO || p.Rules[1].EveryN != 3 {
+		t.Fatalf("netio rule mangled: %+v", p.Rules[1])
+	}
+	if p.Rules[2].SeekFactor != 6 || p.Rules[2].Window != 20*time.Millisecond {
+		t.Fatalf("latency rule mangled: %+v", p.Rules[2])
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"seed 1",                                   // missing header
+		"vino-fault-plan v2\nseed 1",               // wrong version
+		"vino-fault-plan v1",                       // missing seed
+		"vino-fault-plan v1\nseed 1\nrule bogus every=2",  // unknown class
+		"vino-fault-plan v1\nseed 1\nrule disk",           // no trigger
+		"vino-fault-plan v1\nseed 1\nrule disk every=2 at=5ms", // both triggers
+		"vino-fault-plan v1\nseed 1\nrule disk every=x",   // bad int
+		"vino-fault-plan v1\nseed 1\nfrob disk",           // unknown directive
+	}
+	for _, src := range cases {
+		if _, err := Decode(src); err == nil {
+			t.Errorf("Decode accepted malformed input %q", src)
+		}
+	}
+}
+
+func TestSplitLatencyFactors(t *testing.T) {
+	clock := simclock.New(0)
+	plan := &Plan{Rules: []Rule{
+		{Class: Latency, EveryN: 1, SeekFactor: 5},
+		{Class: Latency, EveryN: 1, TransferFactor: 3},
+	}}
+	in := NewInjector(plan, clock, trace.New(16))
+	seek, xfer, err := in.DiskRead(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seek != 5 || xfer != 3 {
+		t.Fatalf("scales = (%d, %d), want (5, 3)", seek, xfer)
+	}
+}
+
+func TestUniformFactorScalesBothParts(t *testing.T) {
+	clock := simclock.New(0)
+	plan := &Plan{Rules: []Rule{{Class: Latency, EveryN: 1, Factor: 4}}}
+	in := NewInjector(plan, clock, trace.New(16))
+	seek, xfer, err := in.DiskRead(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seek != 4 || xfer != 4 {
+		t.Fatalf("scales = (%d, %d), want (4, 4)", seek, xfer)
+	}
+}
+
+func TestNetIOMidstreamHooks(t *testing.T) {
+	clock := simclock.New(0)
+	tr := trace.New(64)
+	plan := &Plan{Rules: []Rule{
+		{Class: NetIO, EveryN: 2},              // read path
+		{Class: NetIO, EveryN: 3, Write: true}, // write path
+	}}
+	in := NewInjector(plan, clock, tr)
+	readErrs, writeErrs := 0, 0
+	for i := 0; i < 6; i++ {
+		if err := in.NetRead(int64(i)); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("NetRead error not ErrInjected: %v", err)
+			}
+			readErrs++
+		}
+		if err := in.NetWrite(int64(i)); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("NetWrite error not ErrInjected: %v", err)
+			}
+			writeErrs++
+		}
+	}
+	if readErrs != 3 || writeErrs != 2 {
+		t.Fatalf("errs = (%d read, %d write), want (3, 2)", readErrs, writeErrs)
+	}
+	var nilIn *Injector
+	if nilIn.NetRead(1) != nil || nilIn.NetWrite(1) != nil {
+		t.Fatal("nil injector net hooks not inert")
+	}
+}
+
+func TestNetIONotInClassicClasses(t *testing.T) {
+	for _, c := range Classes() {
+		if c == NetIO {
+			t.Fatal("NetIO leaked into the frozen classic class set")
+		}
+	}
+	got, err := ParseClasses("netio,disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != NetIO {
+		t.Fatalf("ParseClasses(netio,disk) = %v", got)
+	}
+	if def, _ := ParseClasses(""); len(def) != len(Classes()) {
+		t.Fatalf("default class set changed: %v", def)
+	}
+	if !strings.Contains(NewPlan(1, []Class{NetIO}, 2).Encode(), "rule netio") {
+		t.Fatal("generated netio rules did not encode")
+	}
+}

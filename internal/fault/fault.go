@@ -57,11 +57,24 @@ const (
 	Graft Class = "graft"
 	// Lock installs the lock-hoarding graft: lock(resourceA); while(1).
 	Lock Class = "lock"
+	// NetIO fails reads or writes on established connections mid-stream,
+	// inside running event-graft handlers — unlike Net, which only
+	// resets connections before their handlers start. Extended class:
+	// selected explicitly or via ExtendedClasses, never by default.
+	NetIO Class = "netio"
 )
 
-// Classes returns every known class, in canonical order.
+// Classes returns every classic class, in canonical order. This set is
+// frozen: generated plans for a given seed must stay stable across
+// releases so recorded chaos dumps remain reproducible.
 func Classes() []Class {
 	return []Class{Disk, Latency, Pressure, Net, Graft, Lock}
+}
+
+// ExtendedClasses returns the classic classes plus the extended ones
+// (mid-stream connection faults).
+func ExtendedClasses() []Class {
+	return append(Classes(), NetIO)
 }
 
 // ParseClasses parses a comma-separated class list ("disk,graft,lock").
@@ -71,7 +84,7 @@ func ParseClasses(s string) ([]Class, error) {
 		return Classes(), nil
 	}
 	known := make(map[Class]bool)
-	for _, c := range Classes() {
+	for _, c := range ExtendedClasses() {
 		known[c] = true
 	}
 	var out []Class
@@ -117,7 +130,14 @@ type Rule struct {
 	// Factor is the class-specific magnitude: latency multiplier,
 	// frames stolen.
 	Factor int64
-	// Write selects the write path for Disk rules.
+	// SeekFactor and TransferFactor, when > 0, scale the seek and
+	// transfer components of disk service time separately (a Latency
+	// rule with only Factor scales both uniformly). A worn actuator and
+	// a saturated bus degrade differently; sequential workloads only
+	// feel the latter.
+	SeekFactor     int64
+	TransferFactor int64
+	// Write selects the write path for Disk and NetIO rules.
 	Write bool
 	// Graft is the graft-library key for Graft and Lock rules.
 	Graft string
@@ -138,6 +158,12 @@ func (r Rule) String() string {
 	}
 	if r.Factor > 0 {
 		fmt.Fprintf(&b, " x%d", r.Factor)
+	}
+	if r.SeekFactor > 0 {
+		fmt.Fprintf(&b, " seek-x%d", r.SeekFactor)
+	}
+	if r.TransferFactor > 0 {
+		fmt.Fprintf(&b, " xfer-x%d", r.TransferFactor)
 	}
 	if r.Write {
 		b.WriteString(" (write)")
@@ -201,6 +227,9 @@ func genRule(rng *rand.Rand, c Class) Rule {
 	case Lock:
 		r.EveryN = 4 + rng.Int63n(9)
 		r.Graft = GraftHoard
+	case NetIO:
+		r.EveryN = 3 + rng.Int63n(6) // fail every 3rd..8th stream op
+		r.Write = rng.Intn(2) == 0
 	}
 	return r
 }
@@ -248,10 +277,12 @@ type Injector struct {
 	tr       *trace.Buffer
 	disarmed bool
 
-	fired  int64
-	reads  int64
-	writes int64
-	conns  int64
+	fired     int64
+	reads     int64
+	writes    int64
+	conns     int64
+	netReads  int64
+	netWrites int64
 
 	oneShot   map[int]bool          // rule index -> already fired (At one-shots)
 	windowEnd map[int]time.Duration // windowed rule index -> armed window close
@@ -343,14 +374,18 @@ func (in *Injector) windowActive(idx int, r Rule) bool {
 }
 
 // DiskRead is consulted once per synchronous or prefetch block read. It
-// returns a latency scale factor (>= 1) and, when an error rule fires,
-// the injected I/O error. Nil-safe.
-func (in *Injector) DiskRead(lba int64) (scale int64, err error) {
+// returns separate scale factors (>= 1) for the seek and transfer
+// components of the access's service time and, when an error rule
+// fires, the injected I/O error. A Latency rule carrying only Factor
+// scales both components uniformly — by integer distributivity this is
+// exactly the old single-multiplier behaviour; rules with SeekFactor or
+// TransferFactor degrade the components independently. Nil-safe.
+func (in *Injector) DiskRead(lba int64) (seekScale, xferScale int64, err error) {
 	if !in.Armed() {
-		return 1, nil
+		return 1, 1, nil
 	}
 	in.reads++
-	scale = 1
+	seekScale, xferScale = 1, 1
 	for i, r := range in.plan.Rules {
 		switch r.Class {
 		case Disk:
@@ -362,17 +397,49 @@ func (in *Injector) DiskRead(lba int64) (scale int64, err error) {
 				err = fmt.Errorf("%w: disk read error at lba %d", ErrInjected, lba)
 			}
 		case Latency:
+			active := false
 			if r.EveryN > 0 {
 				if in.reads%r.EveryN == 0 {
-					in.fire(Latency, fmt.Sprintf("lba %d", lba), fmt.Sprintf("x%d service time", r.Factor))
-					scale *= r.Factor
+					in.fire(Latency, fmt.Sprintf("lba %d", lba), latencyDetail(r))
+					active = true
 				}
 			} else if in.windowActive(i, r) {
-				scale *= r.Factor
+				active = true
+			}
+			if active {
+				if r.Factor > 0 {
+					seekScale *= r.Factor
+					xferScale *= r.Factor
+				}
+				if r.SeekFactor > 0 {
+					seekScale *= r.SeekFactor
+				}
+				if r.TransferFactor > 0 {
+					xferScale *= r.TransferFactor
+				}
 			}
 		}
 	}
-	return scale, err
+	return seekScale, xferScale, err
+}
+
+// latencyDetail renders the trace detail for a firing latency rule,
+// preserving the classic "xN service time" form for uniform rules.
+func latencyDetail(r Rule) string {
+	if r.SeekFactor == 0 && r.TransferFactor == 0 {
+		return fmt.Sprintf("x%d service time", r.Factor)
+	}
+	var parts []string
+	if r.Factor > 0 {
+		parts = append(parts, fmt.Sprintf("x%d service time", r.Factor))
+	}
+	if r.SeekFactor > 0 {
+		parts = append(parts, fmt.Sprintf("x%d seek", r.SeekFactor))
+	}
+	if r.TransferFactor > 0 {
+		parts = append(parts, fmt.Sprintf("x%d transfer", r.TransferFactor))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // DiskWrite is consulted once per written block; it returns the
@@ -432,6 +499,47 @@ func (in *Injector) DropConnection(id int64) bool {
 		}
 	}
 	return drop
+}
+
+// NetRead is consulted once per read on an established connection
+// (inside a running handler, not at accept). When a NetIO read rule
+// fires it returns the injected stream error; the network layer is
+// expected to tear the connection down. Nil-safe.
+func (in *Injector) NetRead(conn int64) error {
+	if !in.Armed() {
+		return nil
+	}
+	in.netReads++
+	var err error
+	for i, r := range in.plan.Rules {
+		if r.Class != NetIO || r.Write {
+			continue
+		}
+		if in.due(i, r, in.netReads) {
+			in.fire(NetIO, fmt.Sprintf("conn %d", conn), "injected mid-stream read failure")
+			err = fmt.Errorf("%w: mid-stream read failure on conn %d", ErrInjected, conn)
+		}
+	}
+	return err
+}
+
+// NetWrite is the write-path twin of NetRead. Nil-safe.
+func (in *Injector) NetWrite(conn int64) error {
+	if !in.Armed() {
+		return nil
+	}
+	in.netWrites++
+	var err error
+	for i, r := range in.plan.Rules {
+		if r.Class != NetIO || !r.Write {
+			continue
+		}
+		if in.due(i, r, in.netWrites) {
+			in.fire(NetIO, fmt.Sprintf("conn %d", conn), "injected mid-stream write failure")
+			err = fmt.Errorf("%w: mid-stream write failure on conn %d", ErrInjected, conn)
+		}
+	}
+	return err
 }
 
 // Note records a harness-driven injection (a misbehaving graft

@@ -62,8 +62,8 @@ func TestParseClasses(t *testing.T) {
 // TestInjectorNilSafe: every hook on a nil injector is inert.
 func TestInjectorNilSafe(t *testing.T) {
 	var in *Injector
-	if scale, err := in.DiskRead(5); scale != 1 || err != nil {
-		t.Fatalf("nil DiskRead = (%d, %v)", scale, err)
+	if seek, xfer, err := in.DiskRead(5); seek != 1 || xfer != 1 || err != nil {
+		t.Fatalf("nil DiskRead = (%d, %d, %v)", seek, xfer, err)
 	}
 	if err := in.DiskWrite(5); err != nil {
 		t.Fatalf("nil DiskWrite = %v", err)
@@ -94,7 +94,7 @@ func TestEveryNTrigger(t *testing.T) {
 	in := NewInjector(plan, clock, tr)
 	var fired []int
 	for i := 1; i <= 9; i++ {
-		if _, err := in.DiskRead(int64(i)); err != nil {
+		if _, _, err := in.DiskRead(int64(i)); err != nil {
 			if !errors.Is(err, ErrInjected) {
 				t.Fatalf("read %d: error not wrapped in ErrInjected: %v", i, err)
 			}
@@ -118,7 +118,7 @@ func TestWriteRuleSelectsWritePath(t *testing.T) {
 	plan := &Plan{Rules: []Rule{{Class: Disk, EveryN: 2, Write: true}}}
 	in := NewInjector(plan, clock, trace.New(16))
 	for i := 0; i < 10; i++ {
-		if _, err := in.DiskRead(int64(i)); err != nil {
+		if _, _, err := in.DiskRead(int64(i)); err != nil {
 			t.Fatalf("read path hit by write rule: %v", err)
 		}
 	}
@@ -164,12 +164,12 @@ func TestLatencyScaleCompounds(t *testing.T) {
 		{Class: Latency, EveryN: 1, Factor: 3},
 	}}
 	in := NewInjector(plan, clock, trace.New(16))
-	scale, err := in.DiskRead(0)
+	seek, xfer, err := in.DiskRead(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if scale != 6 {
-		t.Fatalf("scale = %d, want 6", scale)
+	if seek != 6 || xfer != 6 {
+		t.Fatalf("scales = (%d, %d), want (6, 6)", seek, xfer)
 	}
 }
 

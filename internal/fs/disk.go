@@ -59,19 +59,27 @@ func (d *Disk) Params() DiskParams { return d.params }
 // ReadLatency returns the simulated service time for reading the block
 // at logical block address lba and advances the head model.
 func (d *Disk) ReadLatency(lba int64) time.Duration {
+	seek, transfer := d.ReadLatencyParts(lba)
+	return seek + transfer
+}
+
+// ReadLatencyParts is ReadLatency with the positioning cost (seek plus
+// rotational delay; zero for a sequential access) and the media
+// transfer cost reported separately, so the fault plane can degrade the
+// two components independently. It advances the head model.
+func (d *Disk) ReadLatencyParts(lba int64) (seek, transfer time.Duration) {
 	d.Reads++
-	var lat time.Duration
+	transfer = d.params.Transfer
 	if d.primed && lba == d.lastLBA+1 {
 		// Sequential: media transfer only.
 		d.SeqReads++
-		lat = d.params.Transfer
 	} else {
-		lat = d.params.SeekAvg + d.params.RotAvg + d.params.Transfer
+		seek = d.params.SeekAvg + d.params.RotAvg
 	}
 	d.lastLBA = lba
 	d.primed = true
-	d.TotalDelay += lat
-	return lat
+	d.TotalDelay += seek + transfer
+	return seek, transfer
 }
 
 // RandomReadLatency reports the cost of an isolated random block read

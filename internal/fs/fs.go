@@ -366,9 +366,9 @@ func (of *OpenFile) drainPrefetch() {
 		}
 		of.fs.raOutstanding++
 		of.fs.stats.PrefetchIssued++
-		lat := of.fs.disk.ReadLatency(lba)
-		scale, ferr := of.fs.k.Faults.DiskRead(lba)
-		lat *= time.Duration(scale)
+		seek, xfer := of.fs.disk.ReadLatencyParts(lba)
+		seekScale, xferScale, ferr := of.fs.k.Faults.DiskRead(lba)
+		lat := seek*time.Duration(seekScale) + xfer*time.Duration(xferScale)
 		content := of.file.blockContent(b)
 		of.fs.cache.startFetch(lba)
 		of.fs.k.Clock.After(lat, func() {
@@ -478,9 +478,9 @@ func (of *OpenFile) readBlock(t *sched.Thread, b int64) ([]byte, error) {
 	// Synchronous miss: the full stall the graft is trying to hide. The
 	// fault plane may degrade the access (latency multiplier) or fail
 	// it outright — the platter time is spent either way.
-	lat := of.fs.disk.ReadLatency(lba)
-	scale, ferr := of.fs.k.Faults.DiskRead(lba)
-	lat *= time.Duration(scale)
+	seek, xfer := of.fs.disk.ReadLatencyParts(lba)
+	seekScale, xferScale, ferr := of.fs.k.Faults.DiskRead(lba)
+	lat := seek*time.Duration(seekScale) + xfer*time.Duration(xferScale)
 	of.fs.stats.SyncStalls++
 	of.SyncStalls++
 	of.fs.stats.StallTime += lat

@@ -30,8 +30,12 @@ func (p filePager) FaultIn(t *sched.Thread, rel int64) error {
 	if rel < 0 || rel >= p.of.file.Blocks() {
 		return fmt.Errorf("fs: fault beyond mapped file %q: page %d of %d", p.of.file.Name, rel, p.of.file.Blocks())
 	}
-	p.of.readBlock(t, rel)
-	return nil
+	// A failed block read (including an injected disk error) must
+	// surface as a pager failure: the fault does not materialise the
+	// page and the process sees the error, exactly as a real memory
+	// object would deliver it.
+	_, err := p.of.readBlock(t, rel)
+	return err
 }
 
 // Name implements vmm.Pager.

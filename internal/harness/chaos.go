@@ -35,11 +35,34 @@ type ChaosConfig struct {
 	// TraceDepth sizes the flight recorder (default 8192 so no events
 	// drop and dumps compare exactly).
 	TraceDepth int
+	// NCPU is the simulated CPU count (default 1, the classic
+	// configuration). Larger values run the same survival audit with
+	// per-CPU run queues; equal seeds still produce byte-identical
+	// trace dumps.
+	NCPU int
+	// Extended widens the fault surface beyond the frozen classic set:
+	// the netio class (mid-stream connection failures) joins the
+	// default plan, and a pager phase drives file-backed memory
+	// objects under injection.
+	Extended bool
+	// Plan, when non-nil, is used verbatim instead of deriving one from
+	// Seed/Classes/RulesPerClass — the replay path for saved or
+	// hand-minimised plans (fault.Decode). Seed should match Plan.Seed
+	// so seed-keyed workload decisions replay too; RunChaos copies it
+	// over when it does not.
+	Plan *fault.Plan
 }
 
 func (cfg ChaosConfig) withDefaults() ChaosConfig {
 	if len(cfg.Classes) == 0 {
-		cfg.Classes = fault.Classes()
+		if cfg.Extended {
+			cfg.Classes = fault.ExtendedClasses()
+		} else {
+			cfg.Classes = fault.Classes()
+		}
+	}
+	if cfg.NCPU <= 0 {
+		cfg.NCPU = 1
 	}
 	if cfg.RulesPerClass <= 0 {
 		cfg.RulesPerClass = 3
@@ -65,6 +88,12 @@ type ChaosReport struct {
 	Aborts, Commits, UndoPanics int64
 	// ReadErrors/WriteErrors/Churned/Evictions echo the subsystems.
 	ReadErrors, WriteErrors, Churned, Evictions int64
+	// Midstream counts connections torn down by injected mid-stream
+	// read/write failures (netio class; zero under the classic set).
+	Midstream int64
+	// PagerErrors counts injected faults surfaced through file-backed
+	// memory objects (extended pager phase only).
+	PagerErrors int64
 	// Violations lists every survival-invariant failure; empty means
 	// the kernel survived.
 	Violations []string
@@ -92,6 +121,10 @@ func (r *ChaosReport) Summary() string {
 		r.Commits, r.Aborts, r.UndoPanics)
 	fmt.Fprintf(&b, "chaos: io errors %d read / %d write, %d conns churned, %d evictions\n",
 		r.ReadErrors, r.WriteErrors, r.Churned, r.Evictions)
+	if r.Midstream > 0 || r.PagerErrors > 0 {
+		fmt.Fprintf(&b, "chaos: %d mid-stream conn faults, %d pager errors\n",
+			r.Midstream, r.PagerErrors)
+	}
 	for _, g := range r.GraftFaults {
 		fmt.Fprintf(&b, "chaos: graft fault %s\n", g)
 	}
@@ -130,10 +163,16 @@ type injectedGraft struct {
 // follow-up workload proves the kernel is still serviceable.
 func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	cfg = cfg.withDefaults()
-	plan := fault.NewPlan(cfg.Seed, cfg.Classes, cfg.RulesPerClass)
+	plan := cfg.Plan
+	if plan == nil {
+		plan = fault.NewPlan(cfg.Seed, cfg.Classes, cfg.RulesPerClass)
+	} else {
+		cfg.Seed = plan.Seed
+	}
 	k := kernel.New(kernel.Config{
 		TraceDepth: cfg.TraceDepth,
 		Seed:       cfg.Seed,
+		NumCPUs:    cfg.NCPU,
 		FaultPlan:  plan,
 	})
 	c := &chaosRun{cfg: cfg, k: k, report: &ChaosReport{Plan: plan}}
@@ -146,6 +185,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		{"eviction", c.phaseEviction},
 		{"net", c.phaseNet},
 		{"scheduling", c.phaseScheduling},
+	}
+	if cfg.Extended {
+		phases = append(phases, struct {
+			name string
+			run  func() error
+		}{"pager", c.phasePager})
 	}
 	for _, ph := range phases {
 		if err := ph.run(); err != nil {
@@ -478,6 +523,65 @@ out:
 		return err
 	}
 	c.report.Churned += n.Stats().Churned
+	c.report.Midstream += n.Stats().MidstreamFaults
+	return fail
+}
+
+// phasePager drives file-backed memory objects — the paper's Mach-style
+// external pagers — under injection: a mapped file larger than the frame
+// pool faults pages in through the buffer cache while disk errors,
+// latency degradation and pressure spikes fire. An injected read error
+// must surface as a pager failure on that access (the page stays
+// non-resident, the frame is not consumed) and never corrupt state.
+func (c *chaosRun) phasePager() error {
+	fsys := c.fsys
+	v := vmm.New(c.k, 48)
+	file := fsys.Create("chaos-mapped", 64*vfs.BlockSize, graft.Root, false)
+	var fail error
+	var hardFaults int64
+	c.k.SpawnProcess("chaos-pager", graft.Root, func(p *kernel.Process) {
+		t := p.Thread
+		of, err := fsys.Open(t, "chaos-mapped")
+		if err != nil {
+			fail = err
+			return
+		}
+		defer of.Close()
+		vas := v.NewVAS(t)
+		defer vas.Destroy()
+		blocks := file.Blocks()
+		if err := vas.Map(0, blocks, of.Pager()); err != nil {
+			fail = err
+			return
+		}
+		// A working set wider than the 48-frame pool: constant
+		// eviction and re-fault through the buffer cache.
+		for i := 1; i <= c.cfg.Iterations; i++ {
+			for j := int64(0); j < 6; j++ {
+				vpn := (int64(i)*11 + j*5) % blocks
+				if err := vas.TouchErr(t, vpn); err != nil {
+					if !errors.Is(err, fault.ErrInjected) {
+						fail = fmt.Errorf("pager fault vpn %d: %w", vpn, err)
+						return
+					}
+					c.report.PagerErrors++
+				}
+			}
+		}
+		// Teardown under load: unmapping returns the resident pages.
+		vas.Unmap(0)
+		if got := vas.Resident(); got != 0 {
+			c.violate("pager: %d pages resident after unmap", got)
+		}
+	})
+	if err := c.k.Run(); err != nil {
+		return err
+	}
+	hardFaults = v.Stats().Faults
+	if fail == nil && hardFaults == 0 {
+		c.violate("pager: workload completed without a single hard fault")
+	}
+	c.report.Evictions += v.Stats().Evictions
 	return fail
 }
 

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vino/internal/kernel"
+	"vino/internal/lock"
+	"vino/internal/sched"
+)
+
+// smpWorkers is the fixed worker count of the SMP throughput workload:
+// the total work is identical at every CPU count, so aggregate
+// throughput differences are purely scheduling.
+const smpWorkers = 8
+
+// smpLockClass guards the shared resource of the contention-heavy
+// variant. The generous time-out never fires (workers hold the lock for
+// microseconds); it exists so a wedged run surfaces as a time-out
+// instead of a hang.
+var smpLockClass = &lock.Class{Name: "smp", Timeout: time.Second}
+
+// SMPResult summarises one multi-CPU throughput run.
+type SMPResult struct {
+	NCPU    int
+	Workers int
+	// Ops counts completed work items across all workers.
+	Ops int64
+	// Horizon is the virtual makespan: the furthest CPU frontier when
+	// the last worker finished.
+	Horizon time.Duration
+	// Busy and Idle are summed across CPUs.
+	Busy, Idle time.Duration
+	// Throughput is aggregate ops per virtual second.
+	Throughput float64
+	// LockWaits counts contended acquisitions (contention-heavy only).
+	LockWaits int64
+}
+
+// Utilization is the fraction of CPU-seconds spent running threads.
+func (r *SMPResult) Utilization() float64 {
+	total := r.Busy + r.Idle
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Busy) / float64(total)
+}
+
+// SMPThroughput runs a fixed batch of work — smpWorkers threads, each
+// completing iters items — on an ncpu kernel and measures aggregate
+// throughput against virtual time. With contended false the items are
+// independent compute, the embarrassingly parallel best case; with
+// contended true every item holds one shared exclusive lock for most of
+// its cycle, the §3.4 worst case, and adding CPUs buys (almost) nothing
+// but lock waiting.
+func SMPThroughput(ncpu, iters int, contended bool) (*SMPResult, error) {
+	if ncpu <= 0 {
+		ncpu = 1
+	}
+	if iters <= 0 {
+		iters = 64
+	}
+	// The timeslice is shorter than one work item, so a worker is
+	// preempted mid-item — in the contended variant, while holding the
+	// lock. That is what makes the shared lock genuinely contended:
+	// with the default 10 ms quantum every critical section would run
+	// to completion unpreempted and no waiter would ever queue.
+	k := kernel.New(kernel.Config{NumCPUs: ncpu, Timeslice: 150 * time.Microsecond})
+	var shared *lock.Lock
+	if contended {
+		shared = k.Locks.NewLock("smp/shared", smpLockClass)
+	}
+	var ops int64
+	for w := 0; w < smpWorkers; w++ {
+		k.Sched.Spawn(fmt.Sprintf("smp-w%d", w), func(t *sched.Thread) {
+			for i := 0; i < iters; i++ {
+				if shared != nil {
+					shared.Acquire(t, lock.Exclusive)
+					t.Charge(200 * time.Microsecond) // critical section
+					if err := shared.Release(t); err != nil {
+						panic(err)
+					}
+					t.Charge(100 * time.Microsecond) // private epilogue
+				} else {
+					t.Charge(300 * time.Microsecond)
+				}
+				ops++
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		return nil, err
+	}
+	res := &SMPResult{NCPU: ncpu, Workers: smpWorkers, Ops: ops}
+	for _, c := range k.Sched.CPUStats() {
+		res.Busy += c.Busy
+		res.Idle += c.Idle
+		if f := c.Busy + c.Idle; f > res.Horizon {
+			res.Horizon = f
+		}
+	}
+	if res.Horizon > 0 {
+		res.Throughput = float64(res.Ops) / res.Horizon.Seconds()
+	}
+	res.LockWaits = k.Locks.Stats().Contentions
+	return res, nil
+}
+
+// SMPTable renders the throughput workload at each CPU count, the
+// scaling half of the SMP story: the contention-light column should
+// grow near-linearly while the contention-heavy column stays flat.
+func SMPTable(ncpus []int, iters int) (string, error) {
+	if len(ncpus) == 0 {
+		ncpus = []int{1, 2, 4, 8}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SMP throughput: %d workers, %d ops each (300 us/op)\n", smpWorkers, iters)
+	fmt.Fprintf(&b, "%-6s %14s %9s %14s %9s %11s\n",
+		"ncpu", "light (ops/s)", "speedup", "heavy (ops/s)", "speedup", "lock waits")
+	var baseLight, baseHeavy float64
+	for _, n := range ncpus {
+		light, err := SMPThroughput(n, iters, false)
+		if err != nil {
+			return "", fmt.Errorf("smp ncpu=%d light: %w", n, err)
+		}
+		heavy, err := SMPThroughput(n, iters, true)
+		if err != nil {
+			return "", fmt.Errorf("smp ncpu=%d heavy: %w", n, err)
+		}
+		if baseLight == 0 {
+			baseLight, baseHeavy = light.Throughput, heavy.Throughput
+		}
+		fmt.Fprintf(&b, "%-6d %14.0f %8.2fx %14.0f %8.2fx %11d\n",
+			n, light.Throughput, light.Throughput/baseLight,
+			heavy.Throughput, heavy.Throughput/baseHeavy, heavy.LockWaits)
+	}
+	return b.String(), nil
+}

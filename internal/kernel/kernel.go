@@ -25,6 +25,10 @@ import (
 type Config struct {
 	// Hz is the simulated CPU frequency (default: the paper's 120 MHz).
 	Hz int64
+	// NumCPUs is the simulated CPU count (default 1, the paper's single
+	// Pentium). With more CPUs the scheduler keeps one run queue and one
+	// virtual-time frontier per CPU; execution stays deterministic.
+	NumCPUs int
 	// SignKey is the trust-root key shared with the graft toolchain.
 	// Empty uses a fixed development key.
 	SignKey []byte
@@ -84,6 +88,9 @@ type Kernel struct {
 func New(cfg Config) *Kernel {
 	clock := simclock.New(cfg.Hz)
 	s := sched.New(clock)
+	if cfg.NumCPUs > 1 {
+		s.SetNumCPUs(cfg.NumCPUs)
+	}
 	if cfg.Timeslice > 0 {
 		s.SetTimeslice(cfg.Timeslice)
 	}
@@ -136,6 +143,9 @@ func (k *Kernel) Logf(format string, args ...any) {
 
 // Log returns the kernel log lines.
 func (k *Kernel) Log() []string { return append([]string(nil), k.log...) }
+
+// NumCPUs returns the simulated CPU count.
+func (k *Kernel) NumCPUs() int { return k.Sched.NumCPUs() }
 
 // Run drives the scheduler until all threads finish.
 func (k *Kernel) Run() error { return k.Sched.Run() }

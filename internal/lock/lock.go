@@ -136,6 +136,7 @@ type hold struct {
 
 type waiter struct {
 	req     Request
+	stamp   simclock.Stamp // position in the global event order
 	granted bool
 	timeout simclock.EventID
 	hasTO   bool
@@ -262,7 +263,16 @@ func (l *Lock) grantableNow(req Request) bool {
 }
 
 func (l *Lock) insertWaiter(w *waiter) {
+	w.stamp = l.m.clock.Stamp()
+	// Default ordering is the global event order (time, CPU, sequence),
+	// not raw arrival order: under SMP a waiter enqueued by a CPU whose
+	// local frontier lags joined the queue at an earlier virtual instant
+	// than one enqueued later in wall order by a CPU that ran ahead.
+	// On one CPU stamps increase monotonically, so this is plain append.
 	pos := len(l.waiters)
+	for pos > 0 && w.stamp.Less(l.waiters[pos-1].stamp) {
+		pos--
+	}
 	if p := l.class.Policy; p != nil {
 		l.m.stats.PolicyCalls++
 		if w.req.Thread != nil {

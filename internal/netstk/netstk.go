@@ -41,6 +41,11 @@ type Stats struct {
 	// Churned counts connections reset by the fault plane before any
 	// handler ran (connection-churn injection).
 	Churned int64
+	// MidstreamFaults counts reads/writes failed by the fault plane on
+	// established connections, inside running handlers. Each one tears
+	// the connection down; the handler's transaction aborts and its
+	// partial response is undone.
+	MidstreamFaults int64
 }
 
 // New creates a network stack and registers its graft-callable
@@ -154,6 +159,14 @@ func (n *Net) registerCallables() {
 		if c.closed {
 			return 0, ErrConnClosed
 		}
+		if ferr := n.k.Faults.NetRead(c.ID); ferr != nil {
+			// Mid-stream failure: the peer vanished. The teardown is a
+			// physical event, deliberately outside the transaction — an
+			// aborting handler must not resurrect the connection.
+			c.closed = true
+			n.stats.MidstreamFaults++
+			return 0, ferr
+		}
 		maxLen := args[2]
 		if maxLen <= 0 {
 			return 0, fmt.Errorf("net.read: bad length %d", maxLen)
@@ -184,6 +197,11 @@ func (n *Net) registerCallables() {
 		}
 		if c.closed {
 			return 0, ErrConnClosed
+		}
+		if ferr := n.k.Faults.NetWrite(c.ID); ferr != nil {
+			c.closed = true
+			n.stats.MidstreamFaults++
+			return 0, ferr
 		}
 		data, err := kernel.ReadGraftBytes(ctx.VM, args[1], args[2])
 		if err != nil {

@@ -129,6 +129,9 @@ type Thread struct {
 	wakeEvent simclock.EventID
 	hasWake   bool
 	blockedOn string
+	cpu       int           // home CPU: the run queue this thread enqueues on
+	pinned    bool          // wired to its home CPU; the balancer may not steal it
+	readyAt   time.Duration // virtual time the thread last became runnable
 
 	abortPending *AbortRequest
 	noAbort      int
@@ -156,6 +159,12 @@ func (t *Thread) Switches() int64 { return t.switches }
 
 // BlockedOn describes what a blocked thread is waiting for.
 func (t *Thread) BlockedOn() string { return t.blockedOn }
+
+// CPU returns the index of the thread's home CPU.
+func (t *Thread) CPU() int { return t.cpu }
+
+// Pinned reports whether the thread is wired to its home CPU.
+func (t *Thread) Pinned() bool { return t.pinned }
 
 // SetLocal stores per-thread data for an upper layer under key.
 func (t *Thread) SetLocal(key string, v any) {
@@ -200,15 +209,76 @@ type Scheduler struct {
 	DispatchHook func(current *Thread) *Thread
 
 	threads map[ThreadID]*Thread
-	runq    []*Thread
+	cpus    []*cpuState
 	current *Thread
 	nextID  ThreadID
+	place   int // round-robin spawn placement cursor
 	toSched chan struct{}
 	running bool
 
 	contextSwitches int64
 	preemptions     int64
 	threadPanic     error
+}
+
+// cpuState is one simulated CPU: a FIFO run queue plus a local notion of
+// virtual time. Under SMP simulation CPUs execute one at a time (the model
+// stays sequential and deterministic), but each keeps its own frontier, so
+// two CPUs can occupy overlapping spans of virtual time — that overlap is
+// what makes aggregate throughput scale. The shared clock is repositioned
+// to a CPU's frontier whenever it dispatches. With one CPU the frontier
+// and the clock are always equal, preserving pre-SMP behaviour exactly.
+type cpuState struct {
+	index      int
+	runq       []*Thread
+	now        time.Duration // local virtual time frontier
+	busy       time.Duration // time spent executing threads (incl. switch cost)
+	idle       time.Duration // time spent waiting for runnable work
+	dispatches int64
+}
+
+// peek returns the first runnable thread on the queue without removing it,
+// discarding stale entries (threads that blocked or died while queued —
+// the same lazy cleanup the dequeue path has always done).
+func (c *cpuState) peek() *Thread {
+	for len(c.runq) > 0 {
+		if t := c.runq[0]; t.state == StateRunnable {
+			return t
+		}
+		copy(c.runq, c.runq[1:])
+		c.runq = c.runq[:len(c.runq)-1]
+	}
+	return nil
+}
+
+// pop removes and returns the first runnable thread, or nil.
+func (c *cpuState) pop() *Thread {
+	t := c.peek()
+	if t != nil {
+		copy(c.runq, c.runq[1:])
+		c.runq = c.runq[:len(c.runq)-1]
+	}
+	return t
+}
+
+// runnable counts dispatchable entries on the queue.
+func (c *cpuState) runnable() int {
+	n := 0
+	for _, t := range c.runq {
+		if t.state == StateRunnable {
+			n++
+		}
+	}
+	return n
+}
+
+// CPUStat is a snapshot of one simulated CPU's accounting.
+type CPUStat struct {
+	Index      int
+	Busy       time.Duration // virtual time spent running threads
+	Idle       time.Duration // virtual time spent waiting for work
+	Dispatches int64
+	Runnable   int // threads currently queued and dispatchable
 }
 
 // New creates a scheduler over clock. A nil clock gets a fresh default one.
@@ -221,8 +291,47 @@ func New(clock *simclock.Clock) *Scheduler {
 		timeslice:  DefaultTimeslice,
 		SwitchCost: DefaultSwitchCost,
 		threads:    make(map[ThreadID]*Thread),
+		cpus:       []*cpuState{{}},
 		toSched:    make(chan struct{}),
 	}
+}
+
+// SetNumCPUs configures the simulated CPU topology. It must be called
+// before any thread is spawned: placement is decided at spawn time and
+// re-homing live threads would break determinism.
+func (s *Scheduler) SetNumCPUs(n int) {
+	if n <= 0 {
+		panic("sched: non-positive CPU count")
+	}
+	if s.running {
+		panic("sched: SetNumCPUs during Run")
+	}
+	if len(s.threads) > 0 {
+		panic("sched: SetNumCPUs after threads were spawned")
+	}
+	s.cpus = make([]*cpuState, n)
+	for i := range s.cpus {
+		s.cpus[i] = &cpuState{index: i}
+	}
+	s.place = 0
+}
+
+// NumCPUs returns the number of simulated CPUs.
+func (s *Scheduler) NumCPUs() int { return len(s.cpus) }
+
+// CPUStats returns a per-CPU accounting snapshot, indexed by CPU.
+func (s *Scheduler) CPUStats() []CPUStat {
+	out := make([]CPUStat, len(s.cpus))
+	for i, c := range s.cpus {
+		out[i] = CPUStat{
+			Index:      c.index,
+			Busy:       c.busy,
+			Idle:       c.idle,
+			Dispatches: c.dispatches,
+			Runnable:   c.runnable(),
+		}
+	}
+	return out
 }
 
 // Clock returns the scheduler's virtual clock.
@@ -263,8 +372,25 @@ func (s *Scheduler) Threads() []*Thread {
 }
 
 // Spawn creates a thread that will execute body when first dispatched. It
-// may be called before Run or from inside a running thread.
+// may be called before Run or from inside a running thread. Placement is
+// deterministic round-robin across the simulated CPUs.
 func (s *Scheduler) Spawn(name string, body func(*Thread)) *Thread {
+	cpu := s.place % len(s.cpus)
+	s.place++
+	return s.spawn(name, cpu, false, body)
+}
+
+// SpawnOn creates a thread wired to a specific CPU: it always enqueues
+// there and the load balancer never steals it. Kernel daemons that must
+// observe a stable frontier (the pagedaemon) are wired to CPU 0.
+func (s *Scheduler) SpawnOn(name string, cpu int, body func(*Thread)) *Thread {
+	if cpu < 0 || cpu >= len(s.cpus) {
+		panic(fmt.Sprintf("sched: SpawnOn cpu %d out of range [0,%d)", cpu, len(s.cpus)))
+	}
+	return s.spawn(name, cpu, true, body)
+}
+
+func (s *Scheduler) spawn(name string, cpu int, pinned bool, body func(*Thread)) *Thread {
 	s.nextID++
 	t := &Thread{
 		id:     s.nextID,
@@ -272,6 +398,8 @@ func (s *Scheduler) Spawn(name string, body func(*Thread)) *Thread {
 		s:      s,
 		state:  StateNew,
 		resume: make(chan struct{}),
+		cpu:    cpu,
+		pinned: pinned,
 	}
 	s.threads[t.id] = t
 	go func() {
@@ -305,37 +433,88 @@ func (s *Scheduler) enqueue(t *Thread) {
 		return
 	}
 	t.state = StateRunnable
-	s.runq = append(s.runq, t)
+	t.readyAt = s.clock.EventTime()
+	s.cpus[t.cpu].runq = append(s.cpus[t.cpu].runq, t)
 }
 
 func (s *Scheduler) removeFromRunq(t *Thread) {
-	for i, x := range s.runq {
+	q := s.cpus[t.cpu].runq
+	for i, x := range q {
 		if x == t {
-			s.runq = append(s.runq[:i], s.runq[i+1:]...)
+			s.cpus[t.cpu].runq = append(q[:i], q[i+1:]...)
 			return
 		}
 	}
 }
 
-func (s *Scheduler) dequeue() *Thread {
-	for len(s.runq) > 0 {
-		t := s.runq[0]
-		copy(s.runq, s.runq[1:])
-		s.runq = s.runq[:len(s.runq)-1]
-		if t.state == StateRunnable {
-			return t
+// pickNext chooses the CPU whose first runnable thread can start earliest
+// — the maximum of the CPU's local frontier and the thread's ready time —
+// with ties broken by CPU index, and removes that thread from its queue.
+// With one CPU this is exactly the old FIFO dequeue.
+func (s *Scheduler) pickNext() *Thread {
+	var best *cpuState
+	var bestAt time.Duration
+	for _, c := range s.cpus {
+		t := c.peek()
+		if t == nil {
+			continue
+		}
+		at := c.now
+		if t.readyAt > at {
+			at = t.readyAt
+		}
+		if best == nil || at < bestAt {
+			best, bestAt = c, at
 		}
 	}
-	return nil
+	if best == nil {
+		return nil
+	}
+	return best.pop()
+}
+
+// rebalance lets each CPU with no runnable work steal one thread from the
+// tail of the most loaded queue. A donor must keep at least one runnable
+// thread, and pinned threads are never stolen. All choices are tie-broken
+// by index, so rebalancing is deterministic; with one CPU it is a no-op.
+func (s *Scheduler) rebalance() {
+	if len(s.cpus) == 1 {
+		return
+	}
+	for _, thief := range s.cpus {
+		if thief.peek() != nil {
+			continue
+		}
+		var donor *cpuState
+		for _, c := range s.cpus {
+			if c == thief || c.runnable() < 2 {
+				continue
+			}
+			if donor == nil || c.runnable() > donor.runnable() {
+				donor = c
+			}
+		}
+		if donor == nil {
+			continue
+		}
+		for i := len(donor.runq) - 1; i >= 0; i-- {
+			t := donor.runq[i]
+			if t.state != StateRunnable || t.pinned {
+				continue
+			}
+			donor.runq = append(donor.runq[:i], donor.runq[i+1:]...)
+			t.cpu = thief.index
+			thief.runq = append(thief.runq, t)
+			break
+		}
+	}
 }
 
 // runnableCount reports how many threads are dispatchable.
 func (s *Scheduler) runnableCount() int {
 	n := 0
-	for _, t := range s.runq {
-		if t.state == StateRunnable {
-			n++
-		}
+	for _, c := range s.cpus {
+		n += c.runnable()
 	}
 	return n
 }
@@ -358,22 +537,25 @@ func (s *Scheduler) Run() error {
 		if len(s.threads) == 0 {
 			return nil
 		}
-		t := s.dequeue()
+		s.rebalance()
+		t := s.pickNext()
 		if t == nil {
-			// Nothing runnable: leap to the next timer event, which may
-			// wake somebody.
+			// Nothing runnable on any CPU: leap to the next timer event,
+			// which may wake somebody.
 			if s.clock.AdvanceToNext() {
 				continue
 			}
 			return fmt.Errorf("%w: %s", ErrDeadlock, s.describeStuck())
 		}
 		if s.PickDelegate != nil {
-			if alt := s.PickDelegate(t); alt != nil && alt != t && alt.state == StateRunnable && s.threads[alt.id] == alt {
+			// Donation stays on the chosen thread's CPU: cross-CPU
+			// delegation would teleport the delegate to another frontier.
+			if alt := s.PickDelegate(t); alt != nil && alt != t && alt.state == StateRunnable && s.threads[alt.id] == alt && alt.cpu == t.cpu {
 				// Dispatch the delegate instead; the default choice goes to
 				// the back of the queue (it donated its turn, not its
 				// existence — paper §4.3).
 				s.removeFromRunq(alt)
-				s.runq = append(s.runq, t)
+				s.cpus[t.cpu].runq = append(s.cpus[t.cpu].runq, t)
 				// t keeps StateRunnable; the appended entry re-dispatches it.
 				t = alt
 			}
@@ -396,10 +578,27 @@ func (s *Scheduler) describeStuck() string {
 func (s *Scheduler) threadPanicErr() error { return s.threadPanic }
 
 func (s *Scheduler) dispatch(t *Thread) {
+	c := s.cpus[t.cpu]
+	if len(s.cpus) == 1 && c.now < s.clock.Now() {
+		// Single CPU: the shared clock is authoritative. Host code may
+		// advance it between Run calls; that elapsed time was idle.
+		c.idle += s.clock.Now() - c.now
+		c.now = s.clock.Now()
+	}
+	// Reposition the clock to this CPU's frontier, no earlier than the
+	// instant the thread became runnable. The wait for work is idle time.
+	local := c.now
+	if t.readyAt > local {
+		c.idle += t.readyAt - local
+		local = t.readyAt
+	}
+	s.clock.SetCPU(c.index)
+	s.clock.SetNow(local)
 	t.state = StateRunning
 	t.sliceUsed = 0
 	t.switches++
 	s.contextSwitches++
+	c.dispatches++
 	s.current = t
 	if s.SwitchCost > 0 {
 		s.clock.Advance(s.SwitchCost)
@@ -407,6 +606,8 @@ func (s *Scheduler) dispatch(t *Thread) {
 	}
 	t.resume <- struct{}{}
 	<-s.toSched
+	c.busy += s.clock.Now() - local
+	c.now = s.clock.Now()
 	s.current = nil
 }
 
@@ -416,7 +617,8 @@ func (s *Scheduler) dispatch(t *Thread) {
 func (t *Thread) yield(newState State) {
 	t.state = newState
 	if newState == StateRunnable {
-		t.s.runq = append(t.s.runq, t)
+		t.readyAt = t.s.clock.Now()
+		t.s.cpus[t.cpu].runq = append(t.s.cpus[t.cpu].runq, t)
 	}
 	t.s.toSched <- struct{}{}
 	<-t.resume
@@ -435,16 +637,19 @@ func (t *Thread) runDispatchHook() {
 		t.inHook = true
 		target := t.s.DispatchHook(t)
 		t.inHook = false
-		if target == nil || target == t || target.state != StateRunnable || t.s.threads[target.id] != target {
+		if target == nil || target == t || target.state != StateRunnable || t.s.threads[target.id] != target || target.cpu != t.cpu {
 			return
 		}
-		// Donate: put the target at the front of the queue and give up
-		// the CPU. The loop re-runs the hook when this thread is next
-		// dispatched.
+		// Donate: put the target at the front of this CPU's queue and give
+		// up the CPU. Donation never crosses CPUs — the donated slice is
+		// this CPU's time. The loop re-runs the hook when this thread is
+		// next dispatched.
+		q := t.s.cpus[t.cpu]
 		t.s.removeFromRunq(target)
-		t.s.runq = append([]*Thread{target}, t.s.runq...)
+		q.runq = append([]*Thread{target}, q.runq...)
 		t.state = StateRunnable
-		t.s.runq = append(t.s.runq, t)
+		t.readyAt = t.s.clock.Now()
+		q.runq = append(q.runq, t)
 		t.s.toSched <- struct{}{}
 		<-t.resume
 		if t.kill {
@@ -514,7 +719,11 @@ func (t *Thread) wakeFromTimer() {
 
 func (t *Thread) enqueueSelf() {
 	t.state = StateRunnable
-	t.s.runq = append(t.s.runq, t)
+	// EventTime, not Now: when a busy CPU processes a timer interrupt
+	// late, the woken thread is accounted ready at the timer's deadline,
+	// so an idle CPU can pick it up at the time it *should* have woken.
+	t.readyAt = t.s.clock.EventTime()
+	t.s.cpus[t.cpu].runq = append(t.s.cpus[t.cpu].runq, t)
 }
 
 // Block parks the thread until another thread (or a timer callback) calls

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vino/internal/simclock"
+)
+
+// runSMPWorkload spawns n compute-bound threads on an ncpu scheduler and
+// returns the final virtual time plus a deterministic execution log.
+func runSMPWorkload(t *testing.T, ncpu, n int, work time.Duration) (time.Duration, []string) {
+	t.Helper()
+	clk := simclock.New(0)
+	s := New(clk)
+	s.SetNumCPUs(ncpu)
+	var log []string
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("w%d", i), func(th *Thread) {
+			for step := 0; step < 4; step++ {
+				th.Charge(work)
+				log = append(log, fmt.Sprintf("w%d.%d@%v cpu%d", i, step, clk.Now(), th.CPU()))
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var horizon time.Duration
+	for _, c := range s.CPUStats() {
+		end := c.Busy + c.Idle
+		if end > horizon {
+			horizon = end
+		}
+	}
+	return horizon, log
+}
+
+func TestSMPThroughputScales(t *testing.T) {
+	// 8 independent compute-bound threads, 4x2ms each: one CPU needs
+	// ~64ms of serial time; four CPUs should overlap their frontiers and
+	// finish in far less virtual time.
+	h1, _ := runSMPWorkload(t, 1, 8, 2*time.Millisecond)
+	h4, _ := runSMPWorkload(t, 4, 8, 2*time.Millisecond)
+	if h4 >= h1 {
+		t.Fatalf("4-CPU horizon %v not better than 1-CPU %v", h4, h1)
+	}
+	if h4 > h1/2 {
+		t.Fatalf("4-CPU horizon %v shows < 2x scaling over %v", h4, h1)
+	}
+}
+
+func TestSMPDeterministicReplay(t *testing.T) {
+	for _, ncpu := range []int{1, 2, 4} {
+		_, a := runSMPWorkload(t, ncpu, 6, 3*time.Millisecond)
+		_, b := runSMPWorkload(t, ncpu, 6, 3*time.Millisecond)
+		if len(a) != len(b) {
+			t.Fatalf("ncpu=%d: replay lengths differ: %d vs %d", ncpu, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("ncpu=%d: replay diverges at %d: %q vs %q", ncpu, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSMPRoundRobinPlacement(t *testing.T) {
+	clk := simclock.New(0)
+	s := New(clk)
+	s.SetNumCPUs(3)
+	var ts []*Thread
+	for i := 0; i < 7; i++ {
+		ts = append(ts, s.Spawn(fmt.Sprintf("t%d", i), func(th *Thread) {}))
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, th := range ts {
+		if th.CPU() != want[i] {
+			t.Errorf("thread %d placed on cpu %d, want %d", i, th.CPU(), want[i])
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSMPPinnedNeverStolen(t *testing.T) {
+	clk := simclock.New(0)
+	s := New(clk)
+	s.SetNumCPUs(2)
+	pinned := s.SpawnOn("wired", 0, func(th *Thread) {
+		for i := 0; i < 8; i++ {
+			th.Charge(time.Millisecond)
+			if th.CPU() != 0 {
+				t.Errorf("pinned thread migrated to cpu %d", th.CPU())
+			}
+		}
+	})
+	if !pinned.Pinned() {
+		t.Fatal("SpawnOn did not pin")
+	}
+	// Load CPU 0 with extra work so an idle CPU 1 has a reason to steal.
+	for i := 0; i < 3; i++ {
+		s.SpawnOn(fmt.Sprintf("extra%d", i), 0, func(th *Thread) {
+			th.Charge(4 * time.Millisecond)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestSMPIdleSteal(t *testing.T) {
+	clk := simclock.New(0)
+	s := New(clk)
+	s.SetNumCPUs(2)
+	migrated := false
+	// Both spawns round-robin to CPUs 0 and 1; bias by spawning pairs so
+	// CPU 0 ends up with a deep queue of unpinned work.
+	for i := 0; i < 6; i++ {
+		s.spawn(fmt.Sprintf("w%d", i), 0, false, func(th *Thread) {
+			th.Charge(2 * time.Millisecond)
+			if th.CPU() == 1 {
+				migrated = true
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !migrated {
+		t.Fatal("idle CPU 1 never stole work from CPU 0's queue")
+	}
+	stats := s.CPUStats()
+	if stats[1].Dispatches == 0 {
+		t.Fatal("CPU 1 recorded no dispatches")
+	}
+}
+
+func TestSetNumCPUsAfterSpawnPanics(t *testing.T) {
+	s := New(simclock.New(0))
+	s.Spawn("x", func(th *Thread) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+		s.Shutdown()
+	}()
+	s.SetNumCPUs(2)
+}

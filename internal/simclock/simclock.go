@@ -31,6 +31,7 @@ type EventID uint64
 type event struct {
 	id       EventID
 	deadline time.Duration // virtual time since boot
+	cpu      int           // CPU that scheduled the event
 	seq      uint64        // FIFO order among equal deadlines
 	fn       func()
 	index    int // heap index, -1 once popped or cancelled
@@ -42,6 +43,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].deadline != h[j].deadline {
 		return h[i].deadline < h[j].deadline
+	}
+	if h[i].cpu != h[j].cpu {
+		return h[i].cpu < h[j].cpu
 	}
 	return h[i].seq < h[j].seq
 }
@@ -75,6 +79,30 @@ type Clock struct {
 	nextID  EventID
 	nextSeq uint64
 	byID    map[EventID]*event
+	cpu     int    // CPU currently executing (stamped onto new events)
+	firing  *event // event whose callback is running, nil outside RunDue
+}
+
+// Stamp is a point in the global event order: virtual time, then the CPU
+// that produced it, then a monotone sequence number. Stamps from the same
+// clock are totally ordered and, on a single CPU, reduce to arrival order.
+// The lock manager uses stamps to keep wait-queue ordering replayable
+// across CPUs.
+type Stamp struct {
+	T   time.Duration
+	CPU int
+	Seq uint64
+}
+
+// Less reports whether s precedes o in the global event order.
+func (s Stamp) Less(o Stamp) bool {
+	if s.T != o.T {
+		return s.T < o.T
+	}
+	if s.CPU != o.CPU {
+		return s.CPU < o.CPU
+	}
+	return s.Seq < o.Seq
 }
 
 // New returns a clock at virtual time zero running at hz cycles per second.
@@ -88,6 +116,48 @@ func New(hz int64) *Clock {
 
 // Now returns the current virtual time since boot.
 func (c *Clock) Now() time.Duration { return c.now }
+
+// SetNow repositions the clock's frontier. Unlike Advance it may move time
+// backward: under SMP simulation each CPU has a local notion of "now", and
+// the scheduler repositions the shared clock to the local time of whichever
+// CPU it dispatches next. Events already past the restored frontier simply
+// stay pending until time reaches them again; an event is never scheduled
+// before its creating CPU's local time, so no event can be observed firing
+// twice or out of order.
+func (c *Clock) SetNow(t time.Duration) {
+	if t < 0 {
+		panic(fmt.Sprintf("simclock: negative time %v", t))
+	}
+	c.now = t
+}
+
+// SetCPU records which simulated CPU is executing. New events and stamps
+// are tagged with this index, which is the middle key of the global event
+// order. The default (0) preserves the original single-CPU behaviour.
+func (c *Clock) SetCPU(cpu int) { c.cpu = cpu }
+
+// CPU returns the index of the simulated CPU currently executing.
+func (c *Clock) CPU() int { return c.cpu }
+
+// Stamp returns the next point in the global event order. Stamps share the
+// event sequence counter, so the relative order of events and stamps is a
+// single total order.
+func (c *Clock) Stamp() Stamp {
+	c.nextSeq++
+	return Stamp{T: c.now, CPU: c.cpu, Seq: c.nextSeq}
+}
+
+// EventTime returns the deadline of the event whose callback is currently
+// running, or the present time when called outside RunDue. Timer callbacks
+// use it to learn the *scheduled* time of their firing even when a busy CPU
+// processed the interrupt late — the woken thread is accounted ready at the
+// deadline, not at the (possibly later) processing time.
+func (c *Clock) EventTime() time.Duration {
+	if c.firing != nil {
+		return c.firing.deadline
+	}
+	return c.now
+}
 
 // Hz returns the simulated CPU frequency.
 func (c *Clock) Hz() int64 { return c.hz }
@@ -124,7 +194,7 @@ func (c *Clock) At(t time.Duration, fn func()) EventID {
 	}
 	c.nextID++
 	c.nextSeq++
-	e := &event{id: c.nextID, deadline: t, seq: c.nextSeq, fn: fn}
+	e := &event{id: c.nextID, deadline: t, cpu: c.cpu, seq: c.nextSeq, fn: fn}
 	heap.Push(&c.events, e)
 	c.byID[e.id] = e
 	return e.id
@@ -182,7 +252,10 @@ func (c *Clock) RunDue() int {
 		e := heap.Pop(&c.events).(*event)
 		delete(c.byID, e.id)
 		n++
+		prev := c.firing
+		c.firing = e
 		e.fn()
+		c.firing = prev
 	}
 	return n
 }

@@ -523,7 +523,10 @@ func poke64(heap []byte, off int, v int64) {
 // StartPagedaemon spawns the background page-out thread: it keeps the
 // free-frame pool between low and high watermarks, checking every tick.
 func (v *VMM) StartPagedaemon(low, high int, stop *bool) *sched.Thread {
-	return v.k.Sched.Spawn("pagedaemon", func(t *sched.Thread) {
+	// The pagedaemon is a wired kernel thread: it lives on CPU 0 so its
+	// watermark checks observe one stable virtual-time frontier instead
+	// of migrating between CPU-local clocks.
+	return v.k.Sched.SpawnOn("pagedaemon", 0, func(t *sched.Thread) {
 		for !*stop {
 			for v.FreeFrames() < low {
 				if !v.EvictOne(t) {
