@@ -5,6 +5,7 @@ import (
 
 	"vino/internal/fault"
 	"vino/internal/graft"
+	"vino/internal/guard"
 	"vino/internal/harness"
 	"vino/internal/kernel"
 	"vino/internal/lock"
@@ -13,6 +14,7 @@ import (
 	"vino/internal/sched"
 	"vino/internal/sfi"
 	"vino/internal/trace"
+	"vino/internal/txn"
 )
 
 // -----------------------------------------------------------------------------
@@ -81,6 +83,18 @@ func WithUnsafeGrafts() Option {
 // byte-identical to the classic single-queue kernel.
 func WithCPUs(n int) Option {
 	return func(c *Config) { c.NumCPUs = n }
+}
+
+// WithGuardPolicy arms the graft supervisor: every graft dispatch is
+// gated through a per-graft health ledger, and repeat offenders are
+// quarantined (invocations short-circuit to the base path), reinstated
+// on probation after an exponential virtual-time backoff, and expelled
+// permanently on relapse. Zero policy fields take DefaultGuardPolicy
+// values. Kernels built without this option keep the classic
+// remove-on-first-abort behaviour. Inspect the ledger with
+// Kernel.Guard.Report().
+func WithGuardPolicy(p GuardPolicy) Option {
+	return func(c *Config) { c.GuardPolicy = &p }
 }
 
 // -----------------------------------------------------------------------------
@@ -190,6 +204,55 @@ var (
 	ErrNotCallable     = graft.ErrNotCallable
 	ErrOccupied        = graft.ErrOccupied
 	ErrWatchdog        = graft.ErrWatchdog
+	ErrExpelled        = graft.ErrExpelled
+)
+
+// -----------------------------------------------------------------------------
+// Graft supervisor re-exports.
+// -----------------------------------------------------------------------------
+
+// GuardPolicy is the supervisor's escalation knob set (streak and rate
+// thresholds, backoff schedule, probation terms). Zero fields take the
+// DefaultGuardPolicy values.
+type GuardPolicy = guard.Policy
+
+// DefaultGuardPolicy returns the stock escalation policy.
+func DefaultGuardPolicy() GuardPolicy { return guard.DefaultPolicy() }
+
+// GuardSupervisor owns the per-graft health ledger (Kernel.Guard when
+// the kernel was built WithGuardPolicy).
+type GuardSupervisor = guard.Supervisor
+
+// GuardReport is a ledger snapshot; Table() renders the health table.
+type GuardReport = guard.Report
+
+// GraftHealth is one health-ledger row.
+type GraftHealth = guard.GraftHealth
+
+// GuardState is a graft's position on the escalation ladder.
+type GuardState = guard.State
+
+// Guard states.
+const (
+	GuardHealthy     = guard.Healthy
+	GuardSuspect     = guard.Suspect
+	GuardQuarantined = guard.Quarantined
+	GuardProbation   = guard.Probation
+	GuardExpelled    = guard.Expelled
+)
+
+// AbortCause buckets a transaction abort by the survival mechanism that
+// triggered it; the health ledger accounts per cause.
+type AbortCause = txn.AbortCause
+
+// Abort causes.
+const (
+	CauseOther         = txn.CauseOther
+	CauseWatchdog      = txn.CauseWatchdog
+	CauseLockTimeout   = txn.CauseLockTimeout
+	CauseResourceLimit = txn.CauseResourceLimit
+	CauseSFITrap       = txn.CauseSFITrap
+	CauseUndo          = txn.CauseUndo
 )
 
 // -----------------------------------------------------------------------------
@@ -254,6 +317,10 @@ const (
 	TraceEviction      = trace.Eviction
 	TraceGraftOverrule = trace.GraftOverrule
 	TraceFaultInject   = trace.FaultInject
+	// Supervisor lifecycle kinds (emitted only on guarded kernels).
+	TraceGraftQuarantine = trace.GraftQuarantine
+	TraceGraftProbation  = trace.GraftProbation
+	TraceGraftExpel      = trace.GraftExpel
 )
 
 // -----------------------------------------------------------------------------

@@ -220,3 +220,56 @@ func TestSMPSurface(t *testing.T) {
 		t.Fatal("fault plan did not round-trip through its text form")
 	}
 }
+
+// badSrc spins until the watchdog aborts the invocation.
+const badSrc = `
+.name bad
+.func main
+main:
+    jmp main
+`
+
+// TestGuardSurface covers the supervisor's public face: WithGuardPolicy
+// arms it, the escalation ladder runs (quarantine, base-path fallback,
+// probation, expulsion), and Guard.Report() exposes the health ledger.
+func TestGuardSurface(t *testing.T) {
+	pol := vino.DefaultGuardPolicy()
+	k := vino.New(vino.WithTrace(128), vino.WithGuardPolicy(pol))
+	if k.Guard == nil {
+		t.Fatal("WithGuardPolicy did not arm the supervisor")
+	}
+	pt := echoPoint(k, "obj.fn")
+	k.SpawnProcess("app", vino.Root, func(p *vino.Process) {
+		g, err := p.BuildAndInstall("obj.fn", badSrc, vino.InstallOptions{})
+		if err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		for i := 0; i < pol.QuarantineStreak; i++ {
+			if _, err := pt.Invoke(p.Thread); err == nil {
+				t.Error("misbehaving invoke did not abort")
+			}
+		}
+		if st, _ := k.Guard.StateOf(g.GuardKey()); st != vino.GuardQuarantined {
+			t.Errorf("state = %v, want quarantined", st)
+		}
+		// Quarantined: the default serves the call, no error.
+		if res, err := pt.Invoke(p.Thread); err != nil || res != -1 {
+			t.Errorf("quarantined invoke = (%d, %v), want (-1, nil)", res, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := k.Guard.Report()
+	if len(rep.Grafts) != 1 || rep.Quarantines() != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	h := rep.Grafts[0]
+	if h.AbortsByCause[vino.CauseWatchdog] != int64(pol.QuarantineStreak) {
+		t.Errorf("watchdog bucket = %v", h.AbortsByCause)
+	}
+	if len(k.Trace.Filter(vino.TraceGraftQuarantine)) != 1 {
+		t.Error("no graft-quarantine trace event")
+	}
+}

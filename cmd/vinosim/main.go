@@ -56,17 +56,27 @@ func main() {
 	extended := flag.Bool("extended", false, "chaos: widen the fault surface (netio mid-stream faults, pager phase)")
 	faultfile := flag.String("faultfile", "", "chaos: replay the fault plan decoded from this file instead of deriving one from -seed")
 	writeplan := flag.String("writeplan", "", "chaos: save the run's fault plan (text form) to this file")
+	guard := flag.Bool("guard", false, "chaos: arm the graft supervisor (health ledger, quarantine, probation, expulsion)")
+	guardStreak := flag.Int("guard-streak", 0, "chaos: consecutive aborts before quarantine (0 = policy default)")
+	guardBackoff := flag.Duration("guard-backoff", 0, "chaos: first quarantine backoff in virtual time (0 = policy default)")
+	guardProbation := flag.Int("guard-probation", 0, "chaos: clean commits required to clear probation (0 = policy default)")
+	varyInstalls := flag.Bool("varyinstalls", false, "chaos: randomize graft install options (watchdogs, transfers, handler order) from the seed")
 	flag.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after each scenario or chaos run")
 	flag.Parse()
 	if *chaos {
 		opt := chaosOptions{
-			seed:      *seed,
-			faults:    *faults,
-			quick:     *quick,
-			ncpu:      *ncpu,
-			extended:  *extended,
-			faultfile: *faultfile,
-			writeplan: *writeplan,
+			seed:           *seed,
+			faults:         *faults,
+			quick:          *quick,
+			ncpu:           *ncpu,
+			extended:       *extended,
+			faultfile:      *faultfile,
+			writeplan:      *writeplan,
+			guard:          *guard,
+			guardStreak:    *guardStreak,
+			guardBackoff:   *guardBackoff,
+			guardProbation: *guardProbation,
+			varyInstalls:   *varyInstalls,
 		}
 		if err := runChaos(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
@@ -106,13 +116,18 @@ func main() {
 
 // chaosOptions collects the -chaos flag set.
 type chaosOptions struct {
-	seed      int64
-	faults    string
-	quick     bool
-	ncpu      int
-	extended  bool
-	faultfile string
-	writeplan string
+	seed           int64
+	faults         string
+	quick          bool
+	ncpu           int
+	extended       bool
+	faultfile      string
+	writeplan      string
+	guard          bool
+	guardStreak    int
+	guardBackoff   time.Duration
+	guardProbation int
+	varyInstalls   bool
 }
 
 // runChaos drives the fault-injection harness: derive a plan from the
@@ -125,10 +140,24 @@ func runChaos(opt chaosOptions) error {
 		return err
 	}
 	cfg := vino.ChaosConfig{
-		Seed:     opt.seed,
-		Classes:  classes,
-		NCPU:     opt.ncpu,
-		Extended: opt.extended,
+		Seed:         opt.seed,
+		Classes:      classes,
+		NCPU:         opt.ncpu,
+		Extended:     opt.extended,
+		VaryInstalls: opt.varyInstalls,
+	}
+	if opt.guard {
+		pol := vino.DefaultGuardPolicy()
+		if opt.guardStreak > 0 {
+			pol.QuarantineStreak = opt.guardStreak
+		}
+		if opt.guardBackoff > 0 {
+			pol.Backoff = opt.guardBackoff
+		}
+		if opt.guardProbation > 0 {
+			pol.ProbationCommits = opt.guardProbation
+		}
+		cfg.Guard = &pol
 	}
 	if opt.faults == "" {
 		// Let withDefaults pick the class set, so -extended widens it.
@@ -160,6 +189,10 @@ func runChaos(opt chaosOptions) error {
 	}
 	fmt.Printf("chaos plan (seed %d):\n%s", report.Plan.Seed, report.Plan)
 	fmt.Print(report.Summary())
+	fmt.Print(report.CounterSummary())
+	if report.GuardHealth != nil {
+		fmt.Print(report.GuardHealth.Table())
+	}
 	if showTrace {
 		fmt.Print(report.TraceDump)
 	}

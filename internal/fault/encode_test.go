@@ -2,6 +2,8 @@ package fault
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -64,14 +66,14 @@ rule latency at=5ms window=20ms seek=6
 
 func TestDecodeRejectsMalformed(t *testing.T) {
 	cases := []string{
-		"seed 1",                                   // missing header
-		"vino-fault-plan v2\nseed 1",               // wrong version
-		"vino-fault-plan v1",                       // missing seed
-		"vino-fault-plan v1\nseed 1\nrule bogus every=2",  // unknown class
-		"vino-fault-plan v1\nseed 1\nrule disk",           // no trigger
+		"seed 1",                     // missing header
+		"vino-fault-plan v2\nseed 1", // wrong version
+		"vino-fault-plan v1",         // missing seed
+		"vino-fault-plan v1\nseed 1\nrule bogus every=2",       // unknown class
+		"vino-fault-plan v1\nseed 1\nrule disk",                // no trigger
 		"vino-fault-plan v1\nseed 1\nrule disk every=2 at=5ms", // both triggers
-		"vino-fault-plan v1\nseed 1\nrule disk every=x",   // bad int
-		"vino-fault-plan v1\nseed 1\nfrob disk",           // unknown directive
+		"vino-fault-plan v1\nseed 1\nrule disk every=x",        // bad int
+		"vino-fault-plan v1\nseed 1\nfrob disk",                // unknown directive
 	}
 	for _, src := range cases {
 		if _, err := Decode(src); err == nil {
@@ -159,5 +161,113 @@ func TestNetIONotInClassicClasses(t *testing.T) {
 	}
 	if !strings.Contains(NewPlan(1, []Class{NetIO}, 2).Encode(), "rule netio") {
 		t.Fatal("generated netio rules did not encode")
+	}
+}
+
+// TestDecodeTruncated covers the -faultfile failure mode the CLI hits
+// most: a reproducer file cut off mid-write. Every prefix must produce
+// a decode error, never a silently-shorter plan.
+func TestDecodeTruncated(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty file", ""},
+		{"magic cut mid-token", "vino-fault-pla"},
+		{"seed line cut mid-token", "vino-fault-plan v1\nseed"},
+		{"seed value cut", "vino-fault-plan v1\nseed 4x"},
+		{"rule field cut before value", "vino-fault-plan v1\nseed 4\nrule latency at="},
+		{"rule field cut before equals", "vino-fault-plan v1\nseed 4\nrule disk every"},
+		{"graft key cut", "vino-fault-plan v1\nseed 4\nrule graft every=7 graft="},
+	}
+	for _, tc := range cases {
+		if p, err := Decode(tc.src); err == nil {
+			t.Errorf("%s: Decode accepted truncated input (got %d rules)", tc.name, len(p.Rules))
+		}
+	}
+}
+
+// TestDecodeUnknownClassNamesKnownSet checks that a typo'd class token
+// fails with a diagnostic listing the accepted (extended) class set, so
+// a hand-edited reproducer is fixable without reading the source.
+func TestDecodeUnknownClassNamesKnownSet(t *testing.T) {
+	_, err := Decode("vino-fault-plan v1\nseed 4\nrule gravt every=2")
+	if err == nil {
+		t.Fatal("unknown class token accepted")
+	}
+	for _, c := range ExtendedClasses() {
+		if !strings.Contains(err.Error(), string(c)) {
+			t.Errorf("error %q does not list known class %q", err, c)
+		}
+	}
+}
+
+// TestExtendedPlanFaultFileRoundTrip exercises the exact path vinosim
+// -faultfile takes: an extended-class plan is encoded, written to disk,
+// read back, and decoded — and the decoded plan is rule-for-rule equal
+// with a byte-stable re-encoding.
+func TestExtendedPlanFaultFileRoundTrip(t *testing.T) {
+	p := NewPlan(11, ExtendedClasses(), 2)
+	path := filepath.Join(t.TempDir(), "plan.txt")
+	if err := os.WriteFile(path, []byte(p.Encode()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(string(data))
+	if err != nil {
+		t.Fatalf("Decode of written plan file: %v", err)
+	}
+	if got.Seed != p.Seed || len(got.Rules) != len(p.Rules) {
+		t.Fatalf("round trip mangled the plan: seed %d/%d, %d/%d rules",
+			got.Seed, p.Seed, len(got.Rules), len(p.Rules))
+	}
+	for i := range p.Rules {
+		if got.Rules[i] != p.Rules[i] {
+			t.Errorf("rule %d: %+v != %+v", i, got.Rules[i], p.Rules[i])
+		}
+	}
+	if got.Encode() != p.Encode() {
+		t.Fatal("re-encoding of the decoded file is not byte-identical")
+	}
+	hasExtended := false
+	for _, r := range got.Rules {
+		if r.Class == NetIO {
+			hasExtended = true
+		}
+	}
+	if !hasExtended {
+		t.Fatal("extended plan generated no netio rules; round trip untested for extended classes")
+	}
+}
+
+// TestFiredByClass checks the per-class injection counters surfaced in
+// the chaos end-of-run summary.
+func TestFiredByClass(t *testing.T) {
+	clock := simclock.New(0)
+	plan := &Plan{Rules: []Rule{
+		{Class: Disk, EveryN: 2},
+		{Class: NetIO, EveryN: 3},
+	}}
+	in := NewInjector(plan, clock, trace.New(64))
+	for i := 0; i < 6; i++ {
+		in.DiskRead(int64(i))
+		in.NetRead(int64(i))
+	}
+	got := in.FiredByClass()
+	if got[Disk] != 3 || got[NetIO] != 2 {
+		t.Fatalf("FiredByClass = %v, want disk=3 netio=2", got)
+	}
+	// The returned map is a copy: mutating it must not corrupt the
+	// injector's ledger.
+	got[Disk] = 99
+	if in.FiredByClass()[Disk] != 3 {
+		t.Fatal("FiredByClass returned the live map")
+	}
+	var nilIn *Injector
+	if m := nilIn.FiredByClass(); len(m) != 0 {
+		t.Fatalf("nil injector FiredByClass = %v", m)
 	}
 }

@@ -278,6 +278,7 @@ type Injector struct {
 	disarmed bool
 
 	fired     int64
+	firedBy   map[Class]int64
 	reads     int64
 	writes    int64
 	conns     int64
@@ -295,6 +296,7 @@ func NewInjector(p *Plan, clock *simclock.Clock, tr *trace.Buffer) *Injector {
 		plan:      p,
 		clock:     clock,
 		tr:        tr,
+		firedBy:   make(map[Class]int64),
 		oneShot:   make(map[int]bool),
 		windowEnd: make(map[int]time.Duration),
 	}
@@ -314,6 +316,19 @@ func (in *Injector) Fired() int64 {
 		return 0
 	}
 	return in.fired
+}
+
+// FiredByClass reports injections fired so far, bucketed by class
+// (nil-safe; the returned map is a copy).
+func (in *Injector) FiredByClass() map[Class]int64 {
+	out := make(map[Class]int64)
+	if in == nil {
+		return out
+	}
+	for c, n := range in.firedBy {
+		out[c] = n
+	}
+	return out
 }
 
 // Disarm silences the injector: every hook site reports "no fault"
@@ -338,6 +353,7 @@ func (in *Injector) Armed() bool { return in != nil && !in.disarmed }
 // fire records one injection in the flight recorder.
 func (in *Injector) fire(c Class, subject, detail string) {
 	in.fired++
+	in.firedBy[c]++
 	in.tr.Emit(in.clock.Now(), trace.FaultInject, fmt.Sprintf("%s:%s", c, subject), detail)
 }
 

@@ -131,6 +131,7 @@ var (
 	ErrBadResult       = errors.New("graft: result failed validation")
 	ErrWatchdog        = errors.New("graft: forward-progress watchdog expired")
 	ErrRemoved         = errors.New("graft: graft was removed")
+	ErrExpelled        = errors.New("graft: image permanently expelled by the supervisor")
 )
 
 // Ctx is the execution context a graft-callable kernel function
@@ -254,6 +255,13 @@ type Installed struct {
 // VM exposes the graft's sandbox (the kernel seeds shared buffers
 // through it).
 func (g *Installed) VM() *sfi.VM { return g.vm }
+
+// GuardKey identifies the graft to the supervisor: "<point>#<image>".
+// Reinstalls of the same image at the same point share one ledger
+// entry, so misbehavior history survives remove/reinstall cycles.
+func (g *Installed) GuardKey() string { return guardKey(g.Point.Name, g.Image.Name) }
+
+func guardKey(pointName, imageName string) string { return pointName + "#" + imageName }
 
 // Removed reports whether the graft has been forcibly removed.
 func (g *Installed) Removed() bool { return g.removed }

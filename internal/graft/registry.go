@@ -1,10 +1,12 @@
 package graft
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"vino/internal/guard"
 	"vino/internal/resource"
 	"vino/internal/sched"
 	"vino/internal/sfi"
@@ -54,6 +56,12 @@ type Registry struct {
 	// Trace, when set, receives graft lifecycle events (the kernel's
 	// flight recorder).
 	Trace *trace.Buffer
+	// Supervisor, when set, arms the graft supervisor: every dispatch is
+	// gated through its health ledger (quarantined grafts short-circuit
+	// to the base path), every outcome is reported back, and aborting
+	// grafts are quarantined/expelled by policy instead of removed on
+	// the first abort. Nil preserves the classic remove-on-abort path.
+	Supervisor *guard.Supervisor
 
 	callables map[string]Callable
 	points    map[string]*Point
@@ -188,6 +196,10 @@ func (r *Registry) Install(t *sched.Thread, pointName string, img *sfi.Image, op
 	if err != nil {
 		r.stats.InstallRejects++
 		return nil, err
+	}
+	if sup := r.Supervisor; sup != nil && sup.Barred(guardKey(pointName, img.Name)) {
+		r.stats.InstallRejects++
+		return nil, fmt.Errorf("%w: image %q at %q", ErrExpelled, img.Name, pointName)
 	}
 	uid := ThreadUID(t)
 	if p.Privilege == Restricted {
@@ -339,6 +351,11 @@ func (r *Registry) remove(g *Installed) {
 // be able to make progress even with a faulty graft in its path" (rule
 // 9). The error return reports the abort reason for diagnostics even
 // though a result is always produced.
+//
+// With a supervisor armed, the remove-on-abort policy is replaced by
+// the escalation ladder: quarantined grafts are short-circuited here
+// (the default serves the call without the graft running at all), and
+// removal happens only on the supervisor's expel verdict.
 func (p *Point) Invoke(t *sched.Thread, args ...int64) (int64, error) {
 	p.stats.Invocations++
 	if c := p.IndirectionCost; c > 0 {
@@ -349,10 +366,22 @@ func (p *Point) Invoke(t *sched.Thread, args ...int64) (int64, error) {
 		p.stats.DefaultCalls++
 		return p.Default(t, args)
 	}
-	res, err := p.reg.invokeGraft(t, g, args)
+	sup := p.reg.Supervisor
+	probation := false
+	if sup != nil {
+		switch sup.Admit(g.GuardKey()) {
+		case guard.Block:
+			p.stats.DefaultCalls++
+			return p.Default(t, args)
+		case guard.RunProbation:
+			probation = true
+		}
+	}
+	res, err := p.reg.invokeSupervised(t, g, probation, args)
 	if err != nil {
 		// Forcible removal: new invocations use normal kernel code.
-		if !p.KeepOnAbort {
+		// (Supervised grafts are removed by the expel verdict instead.)
+		if sup == nil && !p.KeepOnAbort {
 			p.reg.remove(g)
 		}
 		p.stats.DefaultCalls++
@@ -365,10 +394,51 @@ func (p *Point) Invoke(t *sched.Thread, args ...int64) (int64, error) {
 	return res, nil
 }
 
+// invokeSupervised wraps invokeGraft with the supervisor's outcome
+// reporting: commit/abort counts, the classified abort cause, the
+// abort's virtual-time cost, and removal on an expel verdict. With no
+// supervisor it is invokeGraft verbatim.
+func (r *Registry) invokeSupervised(t *sched.Thread, g *Installed, probation bool, args []int64) (int64, error) {
+	sup := r.Supervisor
+	if sup == nil {
+		return r.invokeGraft(t, g, false, args)
+	}
+	undoBefore := r.txns.Stats().UndoPanics
+	res, err := r.invokeGraft(t, g, probation, args)
+	key := g.GuardKey()
+	if err == nil {
+		sup.RecordCommit(key)
+		return res, nil
+	}
+	cause := abortCause(err, r.txns.Stats().UndoPanics > undoBefore)
+	cost := r.txns.LastAbortDuration()
+	if g.Point.NoTxn {
+		cost = 0 // no transaction, no abort path to account
+	}
+	if sup.RecordAbort(key, cause, cost) == guard.VerdictExpel {
+		r.remove(g)
+	}
+	return res, err
+}
+
+// abortCause buckets an abort reason. Undo panics and the watchdog are
+// signals only this layer can see (the panic is absorbed by Abort, the
+// sentinel lives here); everything else defers to txn.ClassifyAbort.
+func abortCause(err error, undoPanicked bool) txn.AbortCause {
+	if undoPanicked {
+		return txn.CauseUndo
+	}
+	if errors.Is(err, ErrWatchdog) {
+		return txn.CauseWatchdog
+	}
+	return txn.ClassifyAbort(err)
+}
+
 // invokeGraft is the wrapper stub of §3.1: begin transaction, swap
 // resource accounts, arm the watchdog, run the sandboxed code, validate
-// the result, commit.
-func (r *Registry) invokeGraft(t *sched.Thread, g *Installed, args []int64) (int64, error) {
+// the result, commit. Probation invocations run under a watchdog
+// tightened by the supervisor's policy.
+func (r *Registry) invokeGraft(t *sched.Thread, g *Installed, probation bool, args []int64) (int64, error) {
 	p := g.Point
 	p.stats.GraftedCalls++
 	if p.NoTxn {
@@ -385,6 +455,14 @@ func (r *Registry) invokeGraft(t *sched.Thread, g *Installed, args []int64) (int
 		wd := p.Watchdog
 		if wd <= 0 {
 			wd = DefaultWatchdog
+		}
+		if probation {
+			if n := r.Supervisor.Policy().WatchdogTighten; n > 1 {
+				wd /= time.Duration(n)
+			}
+			if wd < time.Millisecond {
+				wd = time.Millisecond
+			}
 		}
 		running := true
 		ev := r.clock.After(wd, func() {
@@ -487,7 +565,17 @@ func (p *Point) Trigger(s *sched.Scheduler, args ...int64) int {
 			if g.removed {
 				return
 			}
-			if _, err := p.reg.invokeGraft(t, g, args); err != nil {
+			sup := p.reg.Supervisor
+			probation := false
+			if sup != nil {
+				switch sup.Admit(g.GuardKey()) {
+				case guard.Block:
+					return
+				case guard.RunProbation:
+					probation = true
+				}
+			}
+			if _, err := p.reg.invokeSupervised(t, g, probation, args); err != nil && sup == nil {
 				p.reg.remove(g)
 			}
 		})

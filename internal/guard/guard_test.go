@@ -1,0 +1,244 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vino/internal/simclock"
+	"vino/internal/trace"
+	"vino/internal/txn"
+)
+
+func newSup(p Policy) (*Supervisor, *simclock.Clock, *trace.Buffer) {
+	clock := simclock.New(0)
+	tr := trace.New(256)
+	return New(clock, tr, p), clock, tr
+}
+
+func TestEscalationAndProbationClear(t *testing.T) {
+	s, clock, tr := newSup(Policy{})
+	pol := s.Policy()
+	const key = "pt#img"
+
+	if d := s.Admit(key); d != Run {
+		t.Fatalf("fresh graft not admitted: %v", d)
+	}
+	// Aborts up to (but not including) the quarantine budget.
+	for i := 1; i < pol.QuarantineStreak; i++ {
+		if v := s.RecordAbort(key, txn.CauseWatchdog, 45*time.Microsecond); v != VerdictKeep {
+			t.Fatalf("abort %d: verdict %v, want keep", i, v)
+		}
+	}
+	if st, _ := s.StateOf(key); st != Suspect {
+		t.Fatalf("state after %d aborts: %v, want suspect", pol.QuarantineStreak-1, st)
+	}
+	// Budget reached: quarantine.
+	if v := s.RecordAbort(key, txn.CauseWatchdog, 45*time.Microsecond); v != VerdictQuarantine {
+		t.Fatalf("budget abort: verdict %v, want quarantine", v)
+	}
+	if st, _ := s.StateOf(key); st != Quarantined {
+		t.Fatalf("state: %v, want quarantined", st)
+	}
+	if got := len(tr.Filter(trace.GraftQuarantine)); got != 1 {
+		t.Fatalf("%d quarantine events, want 1", got)
+	}
+	// Blocked until the backoff expires.
+	if d := s.Admit(key); d != Block {
+		t.Fatalf("quarantined graft admitted: %v", d)
+	}
+	h, _ := s.Health(key)
+	if h.ShortCircuits != 1 {
+		t.Fatalf("short circuits = %d, want 1", h.ShortCircuits)
+	}
+	clock.Advance(pol.Backoff + time.Millisecond)
+	if d := s.Admit(key); d != RunProbation {
+		t.Fatalf("post-backoff admit: %v, want probation", d)
+	}
+	if got := len(tr.Filter(trace.GraftProbation)); got != 1 {
+		t.Fatalf("%d probation events, want 1", got)
+	}
+	// Clean commits clear probation.
+	for i := 0; i < pol.ProbationCommits; i++ {
+		s.RecordCommit(key)
+	}
+	if st, _ := s.StateOf(key); st != Healthy {
+		t.Fatalf("state after probation served: %v, want healthy", st)
+	}
+	evs := tr.Filter(trace.GraftProbation)
+	if len(evs) != 2 || !strings.Contains(evs[1].Detail, "cleared") {
+		t.Fatalf("probation-cleared event missing: %v", evs)
+	}
+	// The cost ledger accumulated every abort.
+	h, _ = s.Health(key)
+	if want := time.Duration(pol.QuarantineStreak) * 45 * time.Microsecond; h.AbortCost != want {
+		t.Fatalf("abort cost %v, want %v", h.AbortCost, want)
+	}
+	if h.AbortsByCause[txn.CauseWatchdog] != int64(pol.QuarantineStreak) {
+		t.Fatalf("watchdog bucket = %d, want %d", h.AbortsByCause[txn.CauseWatchdog], pol.QuarantineStreak)
+	}
+}
+
+func TestProbationRelapseExpels(t *testing.T) {
+	s, clock, tr := newSup(Policy{})
+	pol := s.Policy()
+	const key = "pt#img"
+	for i := 0; i < pol.QuarantineStreak; i++ {
+		s.Admit(key)
+		s.RecordAbort(key, txn.CauseSFITrap, 0)
+	}
+	clock.Advance(pol.Backoff + time.Millisecond)
+	if d := s.Admit(key); d != RunProbation {
+		t.Fatalf("expected probation, got %v", d)
+	}
+	var v Verdict
+	for i := 0; i < pol.ProbationStreak; i++ {
+		v = s.RecordAbort(key, txn.CauseSFITrap, 0)
+	}
+	if v != VerdictExpel {
+		t.Fatalf("relapse verdict %v, want expel", v)
+	}
+	if st, _ := s.StateOf(key); st != Expelled {
+		t.Fatalf("state %v, want expelled", st)
+	}
+	if !s.Barred(key) {
+		t.Fatal("expelled graft not barred")
+	}
+	if d := s.Admit(key); d != Block {
+		t.Fatalf("expelled graft admitted: %v", d)
+	}
+	if got := len(tr.Filter(trace.GraftExpel)); got != 1 {
+		t.Fatalf("%d expel events, want 1", got)
+	}
+	// Expulsion is terminal: even far in the future nothing reinstates.
+	clock.Advance(time.Hour)
+	if d := s.Admit(key); d != Block {
+		t.Fatalf("expelled graft admitted after an hour: %v", d)
+	}
+}
+
+func TestRateTriggerQuarantines(t *testing.T) {
+	s, _, _ := newSup(Policy{
+		QuarantineStreak: 100, // out of reach: only the rate can trigger
+		QuarantinePct:    50,
+		MinSample:        4,
+	})
+	const key = "pt#img"
+	quarantined := false
+	// Alternate commit/abort: 50% rate reaches the bar once MinSample
+	// invocations have completed.
+	for i := 0; i < 10 && !quarantined; i++ {
+		s.Admit(key)
+		if i%2 == 0 {
+			s.RecordCommit(key)
+		} else if s.RecordAbort(key, txn.CauseOther, 0) == VerdictQuarantine {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatal("50% abort rate never quarantined")
+	}
+	h, _ := s.Health(key)
+	if completed := h.Commits + h.Aborts; completed < 4 {
+		t.Fatalf("rate trigger fired below MinSample (%d completed)", completed)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	s, clock, _ := newSup(Policy{
+		Backoff:       10 * time.Millisecond,
+		BackoffFactor: 2,
+		MaxBackoff:    25 * time.Millisecond,
+	})
+	pol := s.Policy()
+	const key = "pt#img"
+	quarantine := func() time.Duration {
+		for {
+			s.Admit(key)
+			if s.RecordAbort(key, txn.CauseWatchdog, 0) == VerdictQuarantine {
+				break
+			}
+		}
+		h, _ := s.Health(key)
+		return h.QuarantineEnd - clock.Now()
+	}
+	serveProbation := func() {
+		clock.Advance(pol.MaxBackoff + time.Millisecond)
+		if d := s.Admit(key); d != RunProbation {
+			t.Fatalf("expected probation, got %v", d)
+		}
+		for i := 0; i < pol.ProbationCommits; i++ {
+			s.RecordCommit(key)
+		}
+	}
+	if got := quarantine(); got != 10*time.Millisecond {
+		t.Fatalf("first backoff %v, want 10ms", got)
+	}
+	serveProbation()
+	if got := quarantine(); got != 20*time.Millisecond {
+		t.Fatalf("second backoff %v, want 20ms", got)
+	}
+	serveProbation()
+	if got := quarantine(); got != 25*time.Millisecond {
+		t.Fatalf("third backoff %v, want the 25ms cap", got)
+	}
+}
+
+func TestCommitResetsStreakAndRecoverySuspect(t *testing.T) {
+	s, _, _ := newSup(Policy{})
+	pol := s.Policy()
+	const key = "pt#img"
+	// One short of quarantine, then a commit: streak resets, suspect
+	// recovers, and the budget starts over.
+	for i := 1; i < pol.QuarantineStreak; i++ {
+		s.Admit(key)
+		s.RecordAbort(key, txn.CauseOther, 0)
+	}
+	if st, _ := s.StateOf(key); st != Suspect {
+		t.Fatalf("state %v, want suspect", st)
+	}
+	s.Admit(key)
+	s.RecordCommit(key)
+	if st, _ := s.StateOf(key); st != Healthy {
+		t.Fatalf("state after commit %v, want healthy", st)
+	}
+	s.Admit(key)
+	if v := s.RecordAbort(key, txn.CauseOther, 0); v != VerdictKeep {
+		t.Fatalf("fresh abort after reset quarantined immediately: %v", v)
+	}
+}
+
+func TestReportDeterministicAndSorted(t *testing.T) {
+	run := func() string {
+		s, _, _ := newSup(Policy{})
+		for _, key := range []string{"z.pt#b", "a.pt#a", "m.pt#c"} {
+			s.Admit(key)
+			s.RecordAbort(key, txn.CauseLockTimeout, 55*time.Microsecond)
+			s.Admit(key)
+			s.RecordCommit(key)
+		}
+		return s.Report().Table()
+	}
+	t1, t2 := run(), run()
+	if t1 != t2 {
+		t.Fatalf("Table not deterministic:\n%s\nvs\n%s", t1, t2)
+	}
+	if !strings.Contains(t1, "lock-timeout=1") {
+		t.Fatalf("cause bucket missing from table:\n%s", t1)
+	}
+	r := Report{}
+	s, _, _ := newSup(Policy{})
+	s.Admit("z.pt#b")
+	s.Admit("a.pt#a")
+	r = s.Report()
+	if len(r.Grafts) != 2 || r.Grafts[0].Key != "a.pt#a" {
+		t.Fatalf("report not sorted by key: %+v", r.Grafts)
+	}
+	// Unknown keys are implicitly healthy, not materialised.
+	if _, ok := s.Health("nope"); ok {
+		t.Fatal("Health invented an entry")
+	}
+	if st, ok := s.StateOf("nope"); ok || st != Healthy {
+		t.Fatalf("StateOf unknown = %v,%v", st, ok)
+	}
+}

@@ -3,12 +3,15 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 	"strings"
 	"time"
 
 	"vino/internal/fault"
 	vfs "vino/internal/fs"
 	"vino/internal/graft"
+	"vino/internal/guard"
 	"vino/internal/kernel"
 	"vino/internal/lock"
 	"vino/internal/netstk"
@@ -51,6 +54,20 @@ type ChaosConfig struct {
 	// so seed-keyed workload decisions replay too; RunChaos copies it
 	// over when it does not.
 	Plan *fault.Plan
+	// Guard, when non-nil, arms the graft supervisor with this policy.
+	// Misbehaving grafts are then tracked by the health ledger instead
+	// of being removed on the first abort, and the survival invariant
+	// upgrades: every persistently misbehaving graft must be quarantined
+	// within the policy's abort budget (with the base path keeping the
+	// workload completing), reinstated on probation after backoff, and
+	// permanently expelled on relapse. Nil keeps classic behaviour and
+	// byte-identical golden dumps.
+	Guard *guard.Policy
+	// VaryInstalls randomizes graft install options — the chaos echo
+	// points' watchdog durations, resource transfer grants, and event
+	// handler ordering — from a stream derived from Seed, so policies
+	// are exercised against varied installs deterministically.
+	VaryInstalls bool
 }
 
 func (cfg ChaosConfig) withDefaults() ChaosConfig {
@@ -106,6 +123,13 @@ type ChaosReport struct {
 	TraceDump string
 	// TraceTotal is the number of events ever emitted.
 	TraceTotal int64
+	// WatchdogFires echoes the graft registry's watchdog counter.
+	WatchdogFires int64
+	// InjectedByClass buckets fault-plane firings by class.
+	InjectedByClass map[fault.Class]int64
+	// GuardHealth snapshots the supervisor's ledger (nil unless the run
+	// was configured with a guard policy).
+	GuardHealth *guard.Report
 }
 
 // Survived reports whether every invariant held and the follow-up
@@ -133,8 +157,34 @@ func (r *ChaosReport) Summary() string {
 			fmt.Fprintf(&b, "chaos: INVARIANT VIOLATED: %s\n", v)
 		}
 	}
+	if r.GuardHealth != nil {
+		fmt.Fprintf(&b, "chaos: guard tracked %d grafts, %d quarantines, %d expelled\n",
+			len(r.GuardHealth.Grafts), r.GuardHealth.Quarantines(), r.GuardHealth.Expulsions())
+	}
 	fmt.Fprintf(&b, "chaos: follow-up workload ok: %v; survived: %v (virtual %v, %d trace events)\n",
 		r.FollowupOK, r.Survived(), r.Elapsed, r.TraceTotal)
+	return b.String()
+}
+
+// CounterSummary renders the registry and injector counters Summary
+// leaves out (Summary's exact byte form is pinned by golden dumps):
+// watchdog fires and per-class fault-injection counts.
+func (r *ChaosReport) CounterSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: watchdog fires %d\n", r.WatchdogFires)
+	classes := make([]string, 0, len(r.InjectedByClass))
+	for c := range r.InjectedByClass {
+		classes = append(classes, string(c))
+	}
+	sort.Strings(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, r.InjectedByClass[fault.Class(c)]))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "none")
+	}
+	fmt.Fprintf(&b, "chaos: injections by class: %s\n", strings.Join(parts, " "))
 	return b.String()
 }
 
@@ -147,6 +197,38 @@ type chaosRun struct {
 	// injected tracks every misbehaving graft for post-abort audits.
 	injected []*injectedGraft
 	nInject  int
+	// instRng, when non-nil (VaryInstalls), draws randomized install
+	// options. It is seeded from cfg.Seed on a stream separate from the
+	// plan's, and every draw happens at a deterministic point in the
+	// scheduler order, so varied runs stay byte-identical per seed.
+	instRng *rand.Rand
+}
+
+// drawWatchdog returns the chaos echo points' watchdog: the classic
+// fixed 15 ms, or a seed-derived 10–30 ms when install options vary.
+func (c *chaosRun) drawWatchdog() time.Duration {
+	if c.instRng == nil {
+		return 15 * time.Millisecond
+	}
+	return time.Duration(10+c.instRng.Intn(21)) * time.Millisecond
+}
+
+// drawTransfer returns a resource grant for a graft install: base, or a
+// seed-derived value in [base/2, 3*base/2) when install options vary.
+func (c *chaosRun) drawTransfer(base int64) int64 {
+	if c.instRng == nil {
+		return base
+	}
+	return base/2 + c.instRng.Int63n(base)
+}
+
+// drawOrder returns an event-handler order value (0 classic, 0–3 when
+// install options vary).
+func (c *chaosRun) drawOrder() int {
+	if c.instRng == nil {
+		return 0
+	}
+	return c.instRng.Intn(4)
 }
 
 type injectedGraft struct {
@@ -170,12 +252,16 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		cfg.Seed = plan.Seed
 	}
 	k := kernel.New(kernel.Config{
-		TraceDepth: cfg.TraceDepth,
-		Seed:       cfg.Seed,
-		NumCPUs:    cfg.NCPU,
-		FaultPlan:  plan,
+		TraceDepth:  cfg.TraceDepth,
+		Seed:        cfg.Seed,
+		NumCPUs:     cfg.NCPU,
+		FaultPlan:   plan,
+		GuardPolicy: cfg.Guard,
 	})
 	c := &chaosRun{cfg: cfg, k: k, report: &ChaosReport{Plan: plan}}
+	if cfg.VaryInstalls {
+		c.instRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5EED_1057A11))
+	}
 
 	phases := []struct {
 		name string
@@ -218,6 +304,12 @@ func (c *chaosRun) finishReport() {
 	st := c.k.Txns.Stats()
 	r.Aborts, r.Commits, r.UndoPanics = st.Aborts, st.Commits, st.UndoPanics
 	r.Injected = c.k.Faults.Fired()
+	r.InjectedByClass = c.k.Faults.FiredByClass()
+	r.WatchdogFires = c.k.Grafts.Stats().WatchdogFires
+	if c.k.Guard != nil {
+		gr := c.k.Guard.Report()
+		r.GuardHealth = &gr
+	}
 	r.Elapsed = c.k.Clock.Now()
 	r.TraceDump = c.k.Trace.Dump()
 	r.TraceTotal = c.k.Trace.Total()
@@ -243,7 +335,21 @@ func (c *chaosRun) checkInvariants(stage string) {
 	}
 	for _, ig := range c.injected {
 		if ig.expectRemove && !ig.g.Removed() {
-			c.violate("%s: graft fault %s@%s not removed", stage, ig.key, ig.point)
+			if sup := c.k.Guard; sup != nil {
+				// Supervisor semantics: removal is replaced by the
+				// escalation ladder. The graft may legitimately still be
+				// installed, but once its aborts reach the policy's
+				// budget it must be at least quarantined.
+				key := ig.g.GuardKey()
+				h, _ := sup.Health(key)
+				st, _ := sup.StateOf(key)
+				if h.Aborts >= int64(sup.Policy().QuarantineStreak) && st < guard.Quarantined {
+					c.violate("%s: graft fault %s@%s has %d aborts but is only %v",
+						stage, ig.key, ig.point, h.Aborts, st)
+				}
+			} else {
+				c.violate("%s: graft fault %s@%s not removed", stage, ig.key, ig.point)
+			}
 		}
 		for _, kind := range ig.g.Account.Kinds() {
 			if used := ig.g.Account.Used(kind); used != 0 {
@@ -263,7 +369,7 @@ func (c *chaosRun) chaosEchoPoint(name string) *graft.Point {
 		Kind:      graft.Function,
 		Privilege: graft.Local,
 		Default:   func(t *sched.Thread, args []int64) (int64, error) { return -1, nil },
-		Watchdog:  15 * time.Millisecond,
+		Watchdog:  c.drawWatchdog(),
 	})
 }
 
@@ -279,7 +385,7 @@ func (c *chaosRun) injectGraftFault(p *kernel.Process, key string) error {
 
 	opts := graft.InstallOptions{}
 	if key == fault.GraftBlowout {
-		opts.Transfer = map[resource.Kind]int64{resource.KernelHeap: 32 << 10}
+		opts.Transfer = map[resource.Kind]int64{resource.KernelHeap: c.drawTransfer(32 << 10)}
 	}
 	g, err := p.BuildAndInstall(ptName, fault.GraftSource(key), opts)
 	if err != nil {
@@ -311,6 +417,12 @@ func (c *chaosRun) injectGraftFault(p *kernel.Process, key string) error {
 		return nil
 	}
 
+	if c.cfg.Guard != nil {
+		c.driveGuardedFault(p, pt, ig)
+		c.checkInvariants("after graft fault " + key)
+		return nil
+	}
+
 	res, ierr := pt.Invoke(p.Thread)
 	if ierr == nil {
 		c.violate("graft fault %s@%s: expected an abort, got clean result %d", key, ptName, res)
@@ -323,6 +435,73 @@ func (c *chaosRun) injectGraftFault(p *kernel.Process, key string) error {
 	}
 	c.checkInvariants("after graft fault " + key)
 	return nil
+}
+
+// driveGuardedFault drives a persistently misbehaving graft through the
+// supervisor's full lifecycle and audits each stage: quarantine within
+// the policy's abort budget, base-path fallback keeping invocations
+// completing (throughput recovery), probation reinstatement after the
+// virtual-time backoff, permanent expulsion on relapse, and refusal of
+// a reinstall afterwards.
+func (c *chaosRun) driveGuardedFault(p *kernel.Process, pt *graft.Point, ig *injectedGraft) {
+	sup := c.k.Guard
+	pol := sup.Policy()
+	key := ig.g.GuardKey()
+
+	// Escalation: the graft aborts every invocation, so the quarantine
+	// budget is exactly QuarantineStreak aborts.
+	for i := 0; i < pol.QuarantineStreak; i++ {
+		if res, _ := pt.Invoke(p.Thread); res != -1 {
+			c.violate("guard %s: fallback not used during escalation (res=%d)", key, res)
+		}
+	}
+	if st, _ := sup.StateOf(key); st != guard.Quarantined {
+		c.violate("guard %s: not quarantined after %d aborts (state %v)", key, pol.QuarantineStreak, st)
+		return
+	}
+	h, _ := sup.Health(key)
+	if h.Aborts > int64(pol.QuarantineStreak) {
+		c.violate("guard %s: %d aborts before quarantine, budget %d", key, h.Aborts, pol.QuarantineStreak)
+	}
+
+	// Throughput recovery: quarantined invocations short-circuit to the
+	// base path — served cleanly, no graft run, no new aborts.
+	abortsAtQ := h.Aborts
+	for i := 0; i < 4; i++ {
+		if res, err := pt.Invoke(p.Thread); err != nil || res != -1 {
+			c.violate("guard %s: quarantined invocation not short-circuited (res=%d err=%v)", key, res, err)
+		}
+	}
+	if h2, _ := sup.Health(key); h2.Aborts != abortsAtQ || h2.ShortCircuits == 0 {
+		c.violate("guard %s: quarantine did not stop aborts (%d -> %d aborts, %d blocked)",
+			key, abortsAtQ, h2.Aborts, h2.ShortCircuits)
+	}
+
+	// Probation after backoff, then relapse: the graft still misbehaves,
+	// so probation must end in permanent expulsion within its streak.
+	h3, _ := sup.Health(key)
+	if wait := h3.QuarantineEnd - c.k.Clock.Now(); wait > 0 {
+		p.Thread.Sleep(wait + time.Millisecond)
+	}
+	for i := 0; i < pol.ProbationStreak+1; i++ {
+		if st, _ := sup.StateOf(key); st == guard.Expelled {
+			break
+		}
+		if res, _ := pt.Invoke(p.Thread); res != -1 {
+			c.violate("guard %s: fallback not used on probation (res=%d)", key, res)
+		}
+	}
+	if st, _ := sup.StateOf(key); st != guard.Expelled {
+		c.violate("guard %s: not expelled after probation relapse (state %v)", key, st)
+		return
+	}
+	if !ig.g.Removed() {
+		c.violate("guard %s: expelled graft still installed", key)
+	}
+	// Permanent: reinstalling the expelled image is refused.
+	if _, err := p.BuildAndInstall(ig.point, fault.GraftSource(ig.key), graft.InstallOptions{}); !errors.Is(err, graft.ErrExpelled) {
+		c.violate("guard %s: reinstall after expulsion not refused (err=%v)", key, err)
+	}
 }
 
 // graftFaultsDue returns the library keys scheduled for workload
@@ -481,8 +660,10 @@ out:
 	var fail error
 	c.k.SpawnProcess("chaos-net", graft.Root, func(p *kernel.Process) {
 		install := func() error {
-			_, err := p.BuildAndInstall(port.Point().Name, echoSrc,
-				graft.InstallOptions{Transfer: map[resource.Kind]int64{resource.Memory: 4096}})
+			_, err := p.BuildAndInstall(port.Point().Name, echoSrc, graft.InstallOptions{
+				Transfer: map[resource.Kind]int64{resource.Memory: c.drawTransfer(4096)},
+				Order:    c.drawOrder(),
+			})
 			return err
 		}
 		if err := install(); err != nil {
@@ -510,6 +691,12 @@ out:
 			// would run.
 			if len(port.Point().Handlers()) == 0 {
 				if err := install(); err != nil {
+					if c.cfg.Guard != nil && errors.Is(err, graft.ErrExpelled) {
+						// The supervisor expelled the handler for good;
+						// the server cannot re-graft, which is exactly
+						// the policy's promise. Stop serving.
+						break
+					}
 					fail = err
 					return
 				}

@@ -1,0 +1,241 @@
+package kernel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"vino/internal/fault"
+	"vino/internal/graft"
+	"vino/internal/guard"
+	"vino/internal/lock"
+	"vino/internal/sched"
+	"vino/internal/trace"
+)
+
+// flakySrc misbehaves on demand: a non-zero argument spins until the
+// watchdog aborts the invocation, a zero argument returns 7.
+const flakySrc = `
+.name flaky
+.func main
+main:
+    jz r1, good
+spin:
+    jmp spin
+good:
+    movi r0, 7
+    ret
+`
+
+func newGuardedKernel(pol guard.Policy) (*Kernel, *graft.Point) {
+	k := New(Config{ZeroTxnCosts: true, GuardPolicy: &pol})
+	pt := k.Grafts.RegisterPoint(&graft.Point{
+		Name: "obj.fn",
+		Kind: graft.Function,
+		Default: func(t *sched.Thread, args []int64) (int64, error) {
+			return -1, nil
+		},
+		Watchdog: 8 * time.Millisecond,
+	})
+	return k, pt
+}
+
+func TestGuardLifecycleQuarantineExpel(t *testing.T) {
+	k, pt := newGuardedKernel(guard.DefaultPolicy())
+	pol := k.Guard.Policy()
+	k.SpawnProcess("app", 7, func(proc *Process) {
+		g, err := proc.BuildAndInstall("obj.fn", flakySrc, graft.InstallOptions{})
+		if err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		key := g.GuardKey()
+
+		// Phase 1: misbehave until the streak quarantines the graft.
+		for i := 0; i < pol.QuarantineStreak; i++ {
+			res, err := pt.Invoke(proc.Thread, 1)
+			if err == nil || res != -1 {
+				t.Errorf("abort %d: res=%d err=%v, want default -1 with error", i, res, err)
+			}
+		}
+		if st, _ := k.Guard.StateOf(key); st != guard.Quarantined {
+			t.Errorf("state after streak: %v, want quarantined", st)
+		}
+		h, _ := k.Guard.Health(key)
+		if h.AbortsByCause[0] != 0 && h.Aborts != int64(pol.QuarantineStreak) {
+			t.Errorf("ledger: %+v", h)
+		}
+		if g.Removed() {
+			t.Error("quarantined graft was removed; supervisor should keep it installed")
+		}
+
+		// Phase 2: quarantined invocations short-circuit to the default
+		// without running (or aborting) the graft.
+		res, err := pt.Invoke(proc.Thread, 1)
+		if err != nil || res != -1 {
+			t.Errorf("blocked invoke: res=%d err=%v, want (-1, nil)", res, err)
+		}
+		h2, _ := k.Guard.Health(key)
+		if h2.Aborts != h.Aborts {
+			t.Error("blocked invocation still ran the graft")
+		}
+		if h2.ShortCircuits == 0 {
+			t.Error("short circuit not accounted")
+		}
+
+		// Phase 3: sleep past the backoff; the graft is reinstated on
+		// probation and a clean call goes through the graft again.
+		if wait := h2.QuarantineEnd - k.Clock.Now(); wait > 0 {
+			proc.Thread.Sleep(wait + time.Millisecond)
+		}
+		res, err = pt.Invoke(proc.Thread, 0)
+		if err != nil || res != 7 {
+			t.Errorf("probation invoke: res=%d err=%v, want (7, nil)", res, err)
+		}
+		if st, _ := k.Guard.StateOf(key); st != guard.Probation {
+			t.Errorf("state: %v, want probation", st)
+		}
+
+		// Phase 4: probation runs under a tightened watchdog
+		// (8ms / WatchdogTighten=4 → 2ms) and a relapse streak expels
+		// the graft permanently.
+		if _, err := pt.Invoke(proc.Thread, 1); err == nil {
+			t.Error("probation misbehavior did not abort")
+		}
+		tightened := false
+		for _, ev := range k.Trace.Filter(trace.WatchdogFire) {
+			if ev.Detail == "2ms" {
+				tightened = true
+			}
+		}
+		if !tightened {
+			t.Errorf("no 2ms watchdog fire in trace: %v", k.Trace.Filter(trace.WatchdogFire))
+		}
+		if _, err := pt.Invoke(proc.Thread, 1); err == nil {
+			t.Error("relapse abort missing")
+		}
+		if st, _ := k.Guard.StateOf(key); st != guard.Expelled {
+			t.Errorf("state: %v, want expelled", st)
+		}
+		if !g.Removed() {
+			t.Error("expelled graft not removed")
+		}
+
+		// Phase 5: expulsion is permanent — reinstall is refused and the
+		// point serves the base path.
+		if _, err := proc.BuildAndInstall("obj.fn", flakySrc, graft.InstallOptions{}); !errors.Is(err, graft.ErrExpelled) {
+			t.Errorf("reinstall after expulsion: %v, want ErrExpelled", err)
+		}
+		res, err = pt.Invoke(proc.Thread, 1)
+		if err != nil || res != -1 {
+			t.Errorf("post-expulsion invoke: res=%d err=%v, want (-1, nil)", res, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []trace.Kind{trace.GraftQuarantine, trace.GraftProbation, trace.GraftExpel} {
+		if len(k.Trace.Filter(kind)) == 0 {
+			t.Errorf("trace kind %q missing", kind)
+		}
+	}
+}
+
+func TestGuardProbationClears(t *testing.T) {
+	k, pt := newGuardedKernel(guard.DefaultPolicy())
+	pol := k.Guard.Policy()
+	k.SpawnProcess("app", 7, func(proc *Process) {
+		g, err := proc.BuildAndInstall("obj.fn", flakySrc, graft.InstallOptions{})
+		if err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		key := g.GuardKey()
+		for i := 0; i < pol.QuarantineStreak; i++ {
+			pt.Invoke(proc.Thread, 1)
+		}
+		h, _ := k.Guard.Health(key)
+		if wait := h.QuarantineEnd - k.Clock.Now(); wait > 0 {
+			proc.Thread.Sleep(wait + time.Millisecond)
+		}
+		// The graft behaves on probation: after ProbationCommits clean
+		// calls it is healthy again with a full abort budget.
+		for i := 0; i < pol.ProbationCommits; i++ {
+			if res, err := pt.Invoke(proc.Thread, 0); err != nil || res != 7 {
+				t.Errorf("probation commit %d: res=%d err=%v", i, res, err)
+			}
+		}
+		if st, _ := k.Guard.StateOf(key); st != guard.Healthy {
+			t.Errorf("state after served probation: %v, want healthy", st)
+		}
+		if _, err := pt.Invoke(proc.Thread, 1); err == nil {
+			t.Error("expected abort")
+		}
+		if st, _ := k.Guard.StateOf(key); st == guard.Quarantined || st == guard.Expelled {
+			t.Errorf("single abort after recovery escalated to %v", st)
+		}
+		if g.Removed() {
+			t.Error("graft removed despite recovery")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardClassifiesHoardAbort(t *testing.T) {
+	// A lock hoard aborts via the lock class time-out; the supervisor's
+	// ledger must bucket it as lock-timeout, not watchdog.
+	pol := guard.DefaultPolicy()
+	k := New(Config{GuardPolicy: &pol, FaultPlan: fault.NewPlan(1, nil, 0)})
+	pt := k.Grafts.RegisterPoint(&graft.Point{
+		Name: "obj.fn",
+		Kind: graft.Function,
+		Default: func(t *sched.Thread, args []int64) (int64, error) {
+			return -1, nil
+		},
+		Watchdog: 200 * time.Millisecond, // stay out of the lock timeout's way
+	})
+	var key string
+	k.SpawnProcess("app", 7, func(proc *Process) {
+		g, err := proc.BuildAndInstall("obj.fn", fault.GraftSource(fault.GraftHoard), graft.InstallOptions{})
+		if err != nil {
+			t.Errorf("install: %v", err)
+			return
+		}
+		key = g.GuardKey()
+		if _, err := pt.Invoke(proc.Thread); err == nil {
+			t.Error("hoard did not abort")
+		}
+	})
+	// A contender makes the hoarded lock's class time-out arm: the hog's
+	// transaction is aborted with a lock.TimeoutError.
+	k.SpawnProcess("contender", 8, func(proc *Process) {
+		hoard := k.FaultHoardLock()
+		for i := 0; i < 500 && hoard.HolderCount() == 0; i++ {
+			proc.Thread.Sleep(time.Millisecond)
+		}
+		hoard.Acquire(proc.Thread, lock.Exclusive)
+		_ = hoard.Release(proc.Thread)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := k.Guard.Health(key)
+	if !ok {
+		t.Fatal("no ledger entry")
+	}
+	var lockTimeouts int64
+	for cause, n := range h.AbortsByCause {
+		if strings.Contains(cause.String(), "lock") {
+			lockTimeouts += n
+		}
+	}
+	if lockTimeouts != 1 {
+		t.Errorf("lock-timeout bucket = %d (ledger %v)", lockTimeouts, h.AbortsByCause)
+	}
+	if h.AbortCost <= 0 {
+		t.Errorf("abort cost not accounted: %v", h.AbortCost)
+	}
+}

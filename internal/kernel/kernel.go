@@ -12,6 +12,7 @@ import (
 
 	"vino/internal/fault"
 	"vino/internal/graft"
+	"vino/internal/guard"
 	"vino/internal/lock"
 	"vino/internal/resource"
 	"vino/internal/sched"
@@ -54,6 +55,12 @@ type Config struct {
 	// subsystem (disk I/O, frame allocator, connection dispatch)
 	// consults it. Nil keeps all hooks inert.
 	FaultPlan *fault.Plan
+	// GuardPolicy, when non-nil, arms the graft supervisor: dispatch is
+	// gated through a per-graft health ledger, repeat offenders are
+	// quarantined and eventually expelled by the policy instead of being
+	// removed on the first abort. Nil keeps the classic remove-on-abort
+	// behaviour (and byte-identical traces for existing seeds).
+	GuardPolicy *guard.Policy
 }
 
 // Kernel is one simulated machine.
@@ -73,6 +80,9 @@ type Kernel struct {
 	// configured; every hook method is nil-safe, so subsystems consult
 	// it unconditionally.
 	Faults *fault.Injector
+	// Guard is the graft supervisor (nil unless GuardPolicy was set);
+	// Guard.Report() snapshots the health ledger.
+	Guard *guard.Supervisor
 	// Seed echoes Config.Seed for subsystems that derive their own
 	// deterministic decisions from it.
 	Seed int64
@@ -127,6 +137,10 @@ func New(cfg Config) *Kernel {
 	}
 	if cfg.FaultPlan != nil {
 		k.Faults = fault.NewInjector(cfg.FaultPlan, clock, tr)
+	}
+	if cfg.GuardPolicy != nil {
+		k.Guard = guard.New(clock, tr, *cfg.GuardPolicy)
+		reg.Supervisor = k.Guard
 	}
 	k.registerBaseCallables()
 	if cfg.FaultPlan != nil {

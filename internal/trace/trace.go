@@ -29,6 +29,13 @@ const (
 	Eviction      Kind = "eviction"
 	GraftOverrule Kind = "graft-overrule"
 	FaultInject   Kind = "fault-inject"
+	// Graft-supervisor lifecycle: a graft crossing its abort budget is
+	// quarantined (invocations short-circuit to the base path), later
+	// reinstated on probation after a virtual-time backoff, and expelled
+	// permanently if it relapses while on probation.
+	GraftQuarantine Kind = "graft-quarantine"
+	GraftProbation  Kind = "graft-probation"
+	GraftExpel      Kind = "graft-expel"
 )
 
 // Event is one recorded occurrence.

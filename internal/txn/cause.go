@@ -1,0 +1,79 @@
+package txn
+
+import (
+	"errors"
+
+	"vino/internal/lock"
+	"vino/internal/resource"
+	"vino/internal/sfi"
+)
+
+// AbortCause buckets an abort by the survival mechanism that pulled the
+// trigger. The graft supervisor's health ledger accounts per cause so a
+// policy (or a human reading the health table) can tell a graft that
+// loops from one that hoards locks from one whose undo handlers are
+// broken.
+type AbortCause int
+
+const (
+	// CauseOther covers aborts no classifier recognises (validation
+	// failures, explicit graft errors, injected environment faults).
+	CauseOther AbortCause = iota
+	// CauseWatchdog is the forward-progress watchdog (§2.5).
+	CauseWatchdog
+	// CauseLockTimeout is a two-phase-locking contention time-out.
+	CauseLockTimeout
+	// CauseResourceLimit is a denied resource-account charge (§3.2).
+	CauseResourceLimit
+	// CauseSFITrap is a sandbox trap: an SFI violation, a VM crash
+	// (division by zero and friends), or the cycle-limit backstop.
+	CauseSFITrap
+	// CauseUndo marks an abort during which an undo handler panicked.
+	CauseUndo
+)
+
+func (c AbortCause) String() string {
+	switch c {
+	case CauseOther:
+		return "other"
+	case CauseWatchdog:
+		return "watchdog"
+	case CauseLockTimeout:
+		return "lock-timeout"
+	case CauseResourceLimit:
+		return "resource-limit"
+	case CauseSFITrap:
+		return "sfi-trap"
+	case CauseUndo:
+		return "undo"
+	}
+	return "cause(?)"
+}
+
+// Causes lists every bucket in canonical rendering order.
+func Causes() []AbortCause {
+	return []AbortCause{CauseWatchdog, CauseLockTimeout, CauseResourceLimit, CauseSFITrap, CauseUndo, CauseOther}
+}
+
+// ClassifyAbort maps an abort reason (typically the *AbortedError
+// returned by Run, or its unwrapped Reason) onto a cause bucket by
+// walking the error chain. Two causes cannot be recognised from the
+// chain alone: the watchdog sentinel lives in the graft layer, and undo
+// panics are absorbed by Abort rather than surfaced as errors — callers
+// that can see those signals classify them before falling back here.
+func ClassifyAbort(err error) AbortCause {
+	var lt *lock.TimeoutError
+	if errors.As(err, &lt) {
+		return CauseLockTimeout
+	}
+	var rl *resource.LimitError
+	if errors.As(err, &rl) {
+		return CauseResourceLimit
+	}
+	var sv *sfi.Violation
+	var sc *sfi.CrashError
+	if errors.As(err, &sv) || errors.As(err, &sc) || errors.Is(err, sfi.ErrCycleLimit) {
+		return CauseSFITrap
+	}
+	return CauseOther
+}

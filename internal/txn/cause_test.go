@@ -1,0 +1,66 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vino/internal/lock"
+	"vino/internal/resource"
+	"vino/internal/sfi"
+)
+
+func TestClassifyAbort(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want AbortCause
+	}{
+		{"lock timeout", &lock.TimeoutError{LockName: "x"}, CauseLockTimeout},
+		{"wrapped lock timeout", &AbortedError{Reason: &lock.TimeoutError{LockName: "x"}}, CauseLockTimeout},
+		{"resource limit", &resource.LimitError{Kind: resource.KernelHeap}, CauseResourceLimit},
+		{"wrapped resource limit", fmt.Errorf("kheap_alloc: %w", &resource.LimitError{}), CauseResourceLimit},
+		{"sfi violation", &sfi.Violation{}, CauseSFITrap},
+		{"sfi crash", &sfi.CrashError{}, CauseSFITrap},
+		{"cycle limit", fmt.Errorf("vm: %w", sfi.ErrCycleLimit), CauseSFITrap},
+		{"plain error", fmt.Errorf("graft said no"), CauseOther},
+		{"nil", nil, CauseOther},
+	}
+	for _, tc := range cases {
+		if got := ClassifyAbort(tc.err); got != tc.want {
+			t.Errorf("%s: ClassifyAbort = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCauseStringsAndOrder(t *testing.T) {
+	want := map[AbortCause]string{
+		CauseOther:         "other",
+		CauseWatchdog:      "watchdog",
+		CauseLockTimeout:   "lock-timeout",
+		CauseResourceLimit: "resource-limit",
+		CauseSFITrap:       "sfi-trap",
+		CauseUndo:          "undo",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	cs := Causes()
+	if len(cs) != len(want) {
+		t.Fatalf("Causes() has %d entries, want %d", len(cs), len(want))
+	}
+	seen := make(map[AbortCause]bool)
+	for _, c := range cs {
+		if seen[c] {
+			t.Fatalf("Causes() lists %v twice", c)
+		}
+		seen[c] = true
+	}
+	// lock.TimeoutError carries a timeout; make sure classification does
+	// not depend on its fields.
+	if got := ClassifyAbort(&lock.TimeoutError{Timeout: 20 * time.Millisecond}); got != CauseLockTimeout {
+		t.Fatalf("timeout with fields: %v", got)
+	}
+}
