@@ -3,6 +3,7 @@ package vino
 import (
 	"time"
 
+	"vino/internal/crash"
 	"vino/internal/fault"
 	"vino/internal/graft"
 	"vino/internal/guard"
@@ -95,6 +96,17 @@ func WithCPUs(n int) Option {
 // Kernel.Guard.Report().
 func WithGuardPolicy(p GuardPolicy) Option {
 	return func(c *Config) { c.GuardPolicy = &p }
+}
+
+// WithCheckpoints arms kernel-panic containment: the kernel checkpoints
+// its state (grafts, transactions, locks, resource accounts, file
+// system, frame tables) every `every` of virtual time at quiescent
+// points, and Kernel.RunRecovered contains classified kernel panics by
+// restoring the last checkpoint and resuming at its time frontier.
+// Zero (the default) disables checkpointing entirely and keeps the
+// classic run path byte-identical.
+func WithCheckpoints(every time.Duration) Option {
+	return func(c *Config) { c.CheckpointEvery = every }
 }
 
 // -----------------------------------------------------------------------------
@@ -253,7 +265,61 @@ const (
 	CauseResourceLimit = txn.CauseResourceLimit
 	CauseSFITrap       = txn.CauseSFITrap
 	CauseUndo          = txn.CauseUndo
+	// CauseCrash is an abort charged to a graft whose dispatch was
+	// active when a contained kernel panic struck; recovery feeds it
+	// into the health ledger so repeat offenders still escalate.
+	CauseCrash = txn.CauseCrash
 )
+
+// -----------------------------------------------------------------------------
+// Kernel-panic containment re-exports.
+// -----------------------------------------------------------------------------
+
+// CrashClass buckets a contained kernel panic by what went wrong.
+type CrashClass = crash.Class
+
+// Panic classes.
+const (
+	CrashUndoEscape        = crash.UndoEscape
+	CrashCommitCorruption  = crash.CommitCorruption
+	CrashAbortCorruption   = crash.AbortCorruption
+	CrashSFIBreach         = crash.SFIBreach
+	CrashLockInvariant     = crash.LockInvariant
+	CrashResourceInvariant = crash.ResourceInvariant
+	CrashStall             = crash.Stall
+)
+
+// CrashClasses returns every panic class in canonical order.
+func CrashClasses() []CrashClass { return crash.Classes() }
+
+// CrashSite names a code location where a plan's panic rule can strike
+// (`site=commit` in the plan text form).
+type CrashSite = crash.Site
+
+// Crash sites.
+const (
+	CrashSiteDispatch = crash.SiteDispatch
+	CrashSiteCommit   = crash.SiteCommit
+	CrashSiteAbort    = crash.SiteAbort
+	CrashSiteUndo     = crash.SiteUndo
+	CrashSiteLock     = crash.SiteLock
+	CrashSiteResource = crash.SiteResource
+)
+
+// CrashSites returns every crash site in canonical order.
+func CrashSites() []CrashSite { return crash.Sites() }
+
+// KernelPanic is a classified kernel panic: the typed error that
+// Kernel.Run returns when a crash escapes containment (match with
+// errors.As) and that RunRecovered contains.
+type KernelPanic = crash.Panic
+
+// CrashManager owns the checkpoint store (Kernel.Crash on kernels built
+// WithCheckpoints; nil otherwise).
+type CrashManager = crash.Manager
+
+// CrashStats counts checkpoints, contained panics and recoveries.
+type CrashStats = crash.Stats
 
 // -----------------------------------------------------------------------------
 // Lock and resource re-exports.
@@ -321,6 +387,12 @@ const (
 	TraceGraftQuarantine = trace.GraftQuarantine
 	TraceGraftProbation  = trace.GraftProbation
 	TraceGraftExpel      = trace.GraftExpel
+	// Crash-containment kinds (emitted only on checkpointing kernels)
+	// and the lock manager's deadlock forensics event.
+	TraceKernelPanic = trace.KernelPanic
+	TraceCheckpoint  = trace.Checkpoint
+	TraceRecovery    = trace.Recovery
+	TraceDeadlock    = trace.Deadlock
 )
 
 // -----------------------------------------------------------------------------
@@ -339,6 +411,11 @@ const (
 	FaultGraft    = fault.Graft
 	FaultLock     = fault.Lock
 )
+
+// FaultPanic is the crash class: rules that inject a classified kernel
+// panic at a crash site (`site=` in the plan form). Fires only while
+// the injector's crash gate is armed.
+const FaultPanic = fault.Panic
 
 // FaultNetIO is the extended-surface class: mid-stream read/write
 // failures on established connections. It is not in FaultClasses();
@@ -394,7 +471,13 @@ const (
 	FaultGraftHoard     = fault.GraftHoard
 	FaultGraftBlowout   = fault.GraftBlowout
 	FaultGraftAbortUndo = fault.GraftAbortUndo
+	FaultGraftAllocFree = fault.GraftAllocFree
 )
+
+// NewCrashRules derives perSite panic rules for every crash site from a
+// seed; the chaos harness appends them to its plan when the crash phase
+// is requested. Equal arguments yield equal rules.
+func NewCrashRules(seed int64, perSite int) []FaultRule { return fault.NewCrashRules(seed, perSite) }
 
 // FaultGraftSource returns the GIR source of a library graft, or ""
 // for an unknown key.
@@ -413,3 +496,18 @@ type ChaosReport = harness.ChaosReport
 // abort (no leaked locks, accounts drained, undo stacks unwound, grafts
 // removed), then disarms injection and re-runs a clean workload.
 func RunChaos(cfg ChaosConfig) (*ChaosReport, error) { return harness.RunChaos(cfg) }
+
+// ChaosSignature reduces a chaos report to its failure identity: the
+// "kernel-panic class@site" of a NoRecover run, or the first invariant
+// violation with digits normalized. "" means the run survived.
+func ChaosSignature(r *ChaosReport) string { return harness.Signature(r) }
+
+// MinimizeResult is the outcome of MinimizeChaos: the minimal plan,
+// the preserved failure signature, and the replay counts.
+type MinimizeResult = harness.MinimizeResult
+
+// MinimizeChaos delta-debugs a failing chaos config's fault plan,
+// deleting every rule whose removal preserves the failure signature.
+// The result's plan replays standalone via ChaosConfig.Plan (or a
+// -faultfile written from its Encode form).
+func MinimizeChaos(cfg ChaosConfig) (*MinimizeResult, error) { return harness.Minimize(cfg) }

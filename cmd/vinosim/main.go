@@ -15,6 +15,10 @@
 //	vinosim -chaos -seed=7 -extended         # + netio faults and pager phase
 //	vinosim -chaos -seed=7 -writeplan=p.txt  # save the derived plan
 //	vinosim -chaos -faultfile=p.txt          # replay a saved/edited plan
+//	vinosim -chaos -seed=7 -crash            # + crash phase: panics contained & recovered
+//	vinosim -chaos -seed=7 -crash -norecover # first panic is fatal (reproducer mode)
+//	vinosim -chaos -seed=7 -crash -norecover -minimize=min.txt
+//	                                         # delta-debug the plan to a minimal reproducer
 package main
 
 import (
@@ -61,6 +65,10 @@ func main() {
 	guardBackoff := flag.Duration("guard-backoff", 0, "chaos: first quarantine backoff in virtual time (0 = policy default)")
 	guardProbation := flag.Int("guard-probation", 0, "chaos: clean commits required to clear probation (0 = policy default)")
 	varyInstalls := flag.Bool("varyinstalls", false, "chaos: randomize graft install options (watchdogs, transfers, handler order) from the seed")
+	crashFlag := flag.Bool("crash", false, "chaos: arm the crash phase (injected kernel panics, checkpoint/restore recovery)")
+	checkpoint := flag.Duration("checkpoint", 20*time.Millisecond, "chaos: checkpoint cadence in virtual time (with -crash)")
+	norecover := flag.Bool("norecover", false, "chaos: disable recovery — the first injected panic is fatal and reported (implies -crash)")
+	minimize := flag.String("minimize", "", "chaos: delta-debug the failing run's fault plan and write the minimal -faultfile reproducer here")
 	flag.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after each scenario or chaos run")
 	flag.Parse()
 	if *chaos {
@@ -77,6 +85,10 @@ func main() {
 			guardBackoff:   *guardBackoff,
 			guardProbation: *guardProbation,
 			varyInstalls:   *varyInstalls,
+			crash:          *crashFlag || *norecover,
+			checkpoint:     *checkpoint,
+			norecover:      *norecover,
+			minimize:       *minimize,
 		}
 		if err := runChaos(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
@@ -128,6 +140,10 @@ type chaosOptions struct {
 	guardBackoff   time.Duration
 	guardProbation int
 	varyInstalls   bool
+	crash          bool
+	checkpoint     time.Duration
+	norecover      bool
+	minimize       string
 }
 
 // runChaos drives the fault-injection harness: derive a plan from the
@@ -140,11 +156,14 @@ func runChaos(opt chaosOptions) error {
 		return err
 	}
 	cfg := vino.ChaosConfig{
-		Seed:         opt.seed,
-		Classes:      classes,
-		NCPU:         opt.ncpu,
-		Extended:     opt.extended,
-		VaryInstalls: opt.varyInstalls,
+		Seed:            opt.seed,
+		Classes:         classes,
+		NCPU:            opt.ncpu,
+		Extended:        opt.extended,
+		VaryInstalls:    opt.varyInstalls,
+		Crash:           opt.crash,
+		CheckpointEvery: opt.checkpoint,
+		NoRecover:       opt.norecover,
 	}
 	if opt.guard {
 		pol := vino.DefaultGuardPolicy()
@@ -177,6 +196,9 @@ func runChaos(opt chaosOptions) error {
 	if opt.quick {
 		cfg.Iterations = 16
 	}
+	if opt.minimize != "" {
+		return runMinimize(cfg, opt.minimize)
+	}
 	report, err := vino.RunChaos(cfg)
 	if err != nil {
 		return err
@@ -197,8 +219,29 @@ func runChaos(opt chaosOptions) error {
 		fmt.Print(report.TraceDump)
 	}
 	if !report.Survived() {
+		if report.FatalPanic != "" {
+			return fmt.Errorf("kernel panic %s was fatal (recovery disabled)", report.FatalPanic)
+		}
 		return errors.New("kernel did not survive the fault plan")
 	}
+	return nil
+}
+
+// runMinimize delta-debugs the failing config's fault plan and writes
+// the minimal reproducer as a -faultfile. The config must fail as given
+// (use -norecover so the first contained panic is the failure).
+func runMinimize(cfg vino.ChaosConfig, out string) error {
+	res, err := vino.MinimizeChaos(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, []byte(res.Plan.Encode()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("minimize: signature %q\n", res.Signature)
+	fmt.Printf("minimize: %d rules -> %d (%d removed, %d replays)\n",
+		len(res.Plan.Rules)+res.Removed, len(res.Plan.Rules), res.Removed, res.Runs)
+	fmt.Printf("minimize: reproducer saved to %s; replay with -chaos -faultfile=%s plus this run's flags\n", out, out)
 	return nil
 }
 

@@ -1,0 +1,325 @@
+// Package crash is the kernel-panic containment and recovery subsystem.
+// The paper's transaction system survives graft misbehaviour, but a
+// fault that escapes the sandbox — corruption inside commit or abort
+// processing itself — still takes the kernel down (§6). This package
+// closes that hole for the simulated kernel: panics are classified at
+// the dispatcher boundary instead of crashing the process, kernel state
+// is checkpointed at a configurable virtual-time cadence, and recovery
+// restores the last checkpoint and resumes at its time frontier.
+//
+// The package owns only the taxonomy and the checkpoint store; the
+// recovery orchestration (drain threads, restore snapshots, feed the
+// guard ledger, reset clocks) lives in the kernel, which knows the
+// subsystems. Everything here is deterministic: checkpoints are taken
+// at quiescent points in virtual time, snapshots are deep copies of
+// simulation state, and no wall-clock or randomness is consulted.
+package crash
+
+import (
+	"fmt"
+	"time"
+
+	"vino/internal/simclock"
+	"vino/internal/trace"
+)
+
+// Class buckets a kernel panic by what went wrong. The taxonomy mirrors
+// the escape routes §6 admits: corruption inside commit/abort/undo
+// processing, a sandbox breach outside any transaction, a broken
+// invariant in the lock or resource manager, and an event-loop stall.
+type Class string
+
+// Panic classes, in canonical order (see Classes).
+const (
+	// UndoEscape is a panic that escaped an undo handler during abort
+	// processing — the transaction system's own recovery path failed.
+	UndoEscape Class = "undo-escape"
+	// CommitCorruption is a fault inside commit processing.
+	CommitCorruption Class = "commit-corruption"
+	// AbortCorruption is a fault inside abort processing, outside the
+	// undo handlers themselves.
+	AbortCorruption Class = "abort-corruption"
+	// SFIBreach is a sandbox trap outside any transaction — the graft
+	// dispatcher had no transaction to abort into.
+	SFIBreach Class = "sfi-breach"
+	// LockInvariant is a broken lock-manager invariant (e.g. a release
+	// that corrupts the wait queue).
+	LockInvariant Class = "lock-invariant"
+	// ResourceInvariant is a broken resource-account invariant.
+	ResourceInvariant Class = "resource-invariant"
+	// Stall is an event-loop deadlock: every thread blocked with no
+	// timer pending, detected by the scheduler.
+	Stall Class = "stall"
+)
+
+// Classes returns every panic class in canonical order.
+func Classes() []Class {
+	return []Class{UndoEscape, CommitCorruption, AbortCorruption, SFIBreach, LockInvariant, ResourceInvariant, Stall}
+}
+
+// Site names a code location where an injected crash can strike. Sites
+// are referenced by fault rules (`site=commit`) so a plan can aim a
+// crash inside commit, abort, or undo processing specifically.
+type Site string
+
+// Crash sites, in canonical order (see Sites).
+const (
+	// SiteDispatch crashes in the graft dispatcher, outside any
+	// transaction (classified as an SFI breach).
+	SiteDispatch Site = "dispatch"
+	// SiteCommit crashes inside transaction commit processing.
+	SiteCommit Site = "commit"
+	// SiteAbort crashes inside abort processing, before the undo loop.
+	SiteAbort Site = "abort"
+	// SiteUndo crashes inside an undo handler during abort processing.
+	SiteUndo Site = "undo"
+	// SiteLock crashes inside the lock manager's release path.
+	SiteLock Site = "lock"
+	// SiteResource crashes inside resource-account release processing.
+	SiteResource Site = "resource"
+)
+
+// Sites returns every crash site in canonical order. The order is
+// frozen: fault plans index it when deriving per-site rules.
+func Sites() []Site {
+	return []Site{SiteDispatch, SiteCommit, SiteAbort, SiteUndo, SiteLock, SiteResource}
+}
+
+// SiteClass maps a crash site to the panic class a crash there
+// manifests as.
+func SiteClass(s Site) Class {
+	switch s {
+	case SiteCommit:
+		return CommitCorruption
+	case SiteAbort:
+		return AbortCorruption
+	case SiteUndo:
+		return UndoEscape
+	case SiteLock:
+		return LockInvariant
+	case SiteResource:
+		return ResourceInvariant
+	default:
+		return SFIBreach
+	}
+}
+
+// ParseSite validates a site token from a fault-plan file.
+func ParseSite(s string) (Site, error) {
+	for _, site := range Sites() {
+		if string(site) == s {
+			return site, nil
+		}
+	}
+	return "", fmt.Errorf("crash: unknown site %q", s)
+}
+
+// Panic is a classified kernel panic: the typed payload that rides the
+// Go panic from the crash site to the kernel boundary. It implements
+// error so it survives the scheduler's thread-panic wrapping and can be
+// recovered with errors.As.
+type Panic struct {
+	// Class is the taxonomy bucket.
+	Class Class
+	// Site is where the crash struck ("" for panics not raised at a
+	// known site, e.g. a synthesized stall).
+	Site Site
+	// Graft is the guard key of the graft whose dispatch was active
+	// when the panic struck ("" if none) — recovery feeds its abort
+	// into the health ledger so repeat offenders still escalate.
+	Graft string
+	// Reason is the human-readable cause.
+	Reason string
+}
+
+// Error implements error.
+func (p *Panic) Error() string {
+	s := fmt.Sprintf("kernel panic [%s]", p.Class)
+	if p.Site != "" {
+		s += fmt.Sprintf(" at %s", p.Site)
+	}
+	if p.Graft != "" {
+		s += fmt.Sprintf(" graft %s", p.Graft)
+	}
+	if p.Reason != "" {
+		s += ": " + p.Reason
+	}
+	return s
+}
+
+// IsPanic reports whether a recovered panic value is a classified
+// kernel panic. It sees through nothing: crash panics travel as the
+// *Panic itself so transaction recover sites can re-throw them without
+// absorbing them into an abort.
+func IsPanic(r any) (*Panic, bool) {
+	p, ok := r.(*Panic)
+	return p, ok
+}
+
+// Snapshotter is implemented by each subsystem whose state a checkpoint
+// captures. CrashSnapshot returns an opaque deep copy; CrashRestore
+// replaces live state with the copy's content. Both run at quiescent
+// points (no simulated thread mid-operation), so implementations need
+// no locking and may rebuild volatile state (wait queues, fd tables)
+// empty, as a reboot would.
+type Snapshotter interface {
+	// CrashName identifies the subsystem in checkpoint traces.
+	CrashName() string
+	// CrashSnapshot deep-copies restorable state.
+	CrashSnapshot() any
+	// CrashRestore replaces live state with a snapshot previously
+	// returned by CrashSnapshot. Restore may run more than once from
+	// the same snapshot (repeated crashes in one checkpoint window),
+	// so it must not consume or alias the snapshot's internals.
+	CrashRestore(snap any)
+}
+
+// Stats counts containment events.
+type Stats struct {
+	// Checkpoints taken.
+	Checkpoints int64
+	// Panics contained (classified at the kernel boundary).
+	Panics int64
+	// Recoveries completed (always ≤ Panics; a panic with no
+	// checkpoint available is fatal and not recovered).
+	Recoveries int64
+	// ByClass buckets contained panics by taxonomy class.
+	ByClass map[Class]int64
+}
+
+// checkpoint is one captured kernel image.
+type checkpoint struct {
+	seq  int64
+	at   time.Duration
+	snap []any // parallel to Manager.subs
+}
+
+// Manager owns the checkpoint store: registered subsystem snapshotters,
+// the cadence, and the most recent image. It is passive — the kernel
+// decides when CheckpointIfDue and Restore run (only at quiescent
+// points between scheduler rounds; goroutine stacks cannot be
+// snapshotted, so a checkpoint never captures a mid-flight thread).
+type Manager struct {
+	clock *simclock.Clock
+	tr    *trace.Buffer
+	every time.Duration
+	subs  []Snapshotter
+	last  *checkpoint
+	seq   int64
+	stats Stats
+}
+
+// NewManager creates a checkpoint manager with the given cadence. A
+// zero or negative cadence disables due-based checkpointing (explicit
+// TakeCheckpoint calls still work).
+func NewManager(clock *simclock.Clock, tr *trace.Buffer, every time.Duration) *Manager {
+	return &Manager{clock: clock, tr: tr, every: every, stats: Stats{ByClass: make(map[Class]int64)}}
+}
+
+// Register adds a subsystem to the checkpoint set. Registration order
+// is restore order; register dependencies first.
+func (m *Manager) Register(s Snapshotter) { m.subs = append(m.subs, s) }
+
+// Every returns the configured cadence.
+func (m *Manager) Every() time.Duration { return m.every }
+
+// CheckpointDue reports whether the cadence has elapsed since the last
+// checkpoint (or since time zero if none has been taken).
+func (m *Manager) CheckpointDue() bool {
+	if m.every <= 0 {
+		return false
+	}
+	if m.last == nil {
+		return true
+	}
+	return m.clock.Now()-m.last.at >= m.every
+}
+
+// TakeCheckpoint captures a new kernel image at the current virtual
+// time, replacing the previous one, and emits a checkpoint trace event.
+func (m *Manager) TakeCheckpoint() {
+	m.seq++
+	cp := &checkpoint{seq: m.seq, at: m.clock.Now(), snap: make([]any, len(m.subs))}
+	for i, s := range m.subs {
+		cp.snap[i] = s.CrashSnapshot()
+	}
+	m.last = cp
+	m.stats.Checkpoints++
+	if m.tr != nil {
+		m.tr.Emit(cp.at, trace.Checkpoint, "kernel",
+			fmt.Sprintf("checkpoint %d (%d subsystems)", cp.seq, len(m.subs)))
+	}
+}
+
+// CheckpointIfDue takes a checkpoint when the cadence has elapsed.
+// Returns whether one was taken.
+func (m *Manager) CheckpointIfDue() bool {
+	if !m.CheckpointDue() {
+		return false
+	}
+	m.TakeCheckpoint()
+	return true
+}
+
+// HasCheckpoint reports whether a restore target exists.
+func (m *Manager) HasCheckpoint() bool { return m.last != nil }
+
+// CheckpointTime returns the virtual time of the last checkpoint.
+func (m *Manager) CheckpointTime() (time.Duration, bool) {
+	if m.last == nil {
+		return 0, false
+	}
+	return m.last.at, true
+}
+
+// Restore replays the last checkpoint into every registered subsystem,
+// in registration order, and returns its virtual time. The caller (the
+// kernel) is responsible for draining dead threads first and resetting
+// clocks after.
+func (m *Manager) Restore() (time.Duration, bool) {
+	if m.last == nil {
+		return 0, false
+	}
+	for i, s := range m.subs {
+		s.CrashRestore(m.last.snap[i])
+	}
+	return m.last.at, true
+}
+
+// RecordPanic accounts one contained panic.
+func (m *Manager) RecordPanic(c Class) {
+	m.stats.Panics++
+	m.stats.ByClass[c]++
+}
+
+// RecordRecovery accounts one completed recovery.
+func (m *Manager) RecordRecovery() { m.stats.Recoveries++ }
+
+// Stats returns a copy of the counters (ByClass is copied too).
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	s.ByClass = make(map[Class]int64, len(m.stats.ByClass))
+	for k, v := range m.stats.ByClass {
+		s.ByClass[k] = v
+	}
+	return s
+}
+
+// Summary renders the containment counters, classes in canonical
+// order, zero-count classes omitted.
+func (s Stats) Summary() string {
+	out := fmt.Sprintf("checkpoints %d, panics %d, recoveries %d", s.Checkpoints, s.Panics, s.Recoveries)
+	detail := ""
+	for _, c := range Classes() {
+		if n := s.ByClass[c]; n > 0 {
+			if detail != "" {
+				detail += ", "
+			}
+			detail += fmt.Sprintf("%s:%d", c, n)
+		}
+	}
+	if detail != "" {
+		out += " (" + detail + ")"
+	}
+	return out
+}

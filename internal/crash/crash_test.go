@@ -1,0 +1,161 @@
+package crash
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vino/internal/simclock"
+	"vino/internal/trace"
+)
+
+func TestSiteClassMapping(t *testing.T) {
+	want := map[Site]Class{
+		SiteDispatch: SFIBreach,
+		SiteCommit:   CommitCorruption,
+		SiteAbort:    AbortCorruption,
+		SiteUndo:     UndoEscape,
+		SiteLock:     LockInvariant,
+		SiteResource: ResourceInvariant,
+	}
+	if len(Sites()) != len(want) {
+		t.Fatalf("Sites() has %d entries, want %d", len(Sites()), len(want))
+	}
+	for s, c := range want {
+		if got := SiteClass(s); got != c {
+			t.Errorf("SiteClass(%s) = %s, want %s", s, got, c)
+		}
+	}
+	if len(Classes()) != 7 { // the six site classes + stall
+		t.Fatalf("Classes() has %d entries, want 7", len(Classes()))
+	}
+}
+
+func TestParseSite(t *testing.T) {
+	for _, s := range Sites() {
+		got, err := ParseSite(string(s))
+		if err != nil || got != s {
+			t.Errorf("ParseSite(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSite("bogus"); err == nil {
+		t.Error("ParseSite accepted an unknown site")
+	}
+}
+
+func TestPanicErrorFormat(t *testing.T) {
+	p := &Panic{Class: CommitCorruption, Site: SiteCommit, Graft: "obj.fn#img", Reason: "injected crash"}
+	got := p.Error()
+	for _, part := range []string{"kernel panic", "commit-corruption", "at commit", "graft obj.fn#img", "injected crash"} {
+		if !strings.Contains(got, part) {
+			t.Errorf("Error() = %q, missing %q", got, part)
+		}
+	}
+	if _, ok := IsPanic(p); !ok {
+		t.Error("IsPanic rejected a *Panic")
+	}
+	if _, ok := IsPanic("boom"); ok {
+		t.Error("IsPanic accepted a non-Panic value")
+	}
+}
+
+// fakeSub is a Snapshotter over a single int.
+type fakeSub struct {
+	name string
+	val  int
+}
+
+func (f *fakeSub) CrashName() string     { return f.name }
+func (f *fakeSub) CrashSnapshot() any    { v := f.val; return &v }
+func (f *fakeSub) CrashRestore(snap any) { f.val = *(snap.(*int)) }
+
+func TestManagerCheckpointRestore(t *testing.T) {
+	clock := simclock.New(0)
+	tr := trace.New(64)
+	m := NewManager(clock, tr, 10*time.Millisecond)
+	a, b := &fakeSub{name: "a", val: 1}, &fakeSub{name: "b", val: 2}
+	m.Register(a)
+	m.Register(b)
+
+	if m.HasCheckpoint() {
+		t.Fatal("checkpoint before any was taken")
+	}
+	if !m.CheckpointDue() {
+		t.Fatal("first checkpoint not due")
+	}
+	m.TakeCheckpoint()
+	if m.CheckpointDue() {
+		t.Fatal("checkpoint due immediately after taking one")
+	}
+	at, ok := m.CheckpointTime()
+	if !ok || at != 0 {
+		t.Fatalf("CheckpointTime = %v, %v", at, ok)
+	}
+
+	// Mutate, restore twice: the snapshot must not be consumed.
+	a.val, b.val = 10, 20
+	if got, ok := m.Restore(); !ok || got != 0 {
+		t.Fatalf("Restore = %v, %v", got, ok)
+	}
+	if a.val != 1 || b.val != 2 {
+		t.Fatalf("restored vals = %d, %d", a.val, b.val)
+	}
+	a.val = 99
+	m.Restore()
+	if a.val != 1 {
+		t.Fatalf("second restore gave %d", a.val)
+	}
+
+	if evs := tr.Filter(trace.Checkpoint); len(evs) != 1 {
+		t.Fatalf("checkpoint trace events = %d, want 1", len(evs))
+	}
+}
+
+func TestManagerCadence(t *testing.T) {
+	clock := simclock.New(0)
+	m := NewManager(clock, nil, 10*time.Millisecond)
+	m.TakeCheckpoint()
+	clock.Advance(9 * time.Millisecond)
+	if m.CheckpointIfDue() {
+		t.Fatal("checkpoint taken before cadence elapsed")
+	}
+	clock.Advance(time.Millisecond)
+	if !m.CheckpointIfDue() {
+		t.Fatal("checkpoint not taken at cadence")
+	}
+	// Disabled cadence: due-based checkpointing off, explicit still works.
+	off := NewManager(clock, nil, 0)
+	if off.CheckpointDue() {
+		t.Fatal("zero-cadence manager reported due")
+	}
+	off.TakeCheckpoint()
+	if !off.HasCheckpoint() {
+		t.Fatal("explicit checkpoint ignored")
+	}
+}
+
+func TestStatsAndSummary(t *testing.T) {
+	clock := simclock.New(0)
+	m := NewManager(clock, nil, time.Millisecond)
+	m.TakeCheckpoint()
+	m.RecordPanic(UndoEscape)
+	m.RecordPanic(UndoEscape)
+	m.RecordPanic(Stall)
+	m.RecordRecovery()
+	st := m.Stats()
+	if st.Checkpoints != 1 || st.Panics != 3 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ByClass[UndoEscape] != 2 || st.ByClass[Stall] != 1 {
+		t.Fatalf("ByClass = %v", st.ByClass)
+	}
+	sum := st.Summary()
+	if !strings.Contains(sum, "panics 3") || !strings.Contains(sum, "undo-escape:2") {
+		t.Fatalf("Summary = %q", sum)
+	}
+	// The copy must not alias the live map.
+	st.ByClass[UndoEscape] = 99
+	if m.Stats().ByClass[UndoEscape] != 2 {
+		t.Fatal("Stats() aliased the live ByClass map")
+	}
+}

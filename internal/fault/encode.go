@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"vino/internal/crash"
 )
 
 // planMagic is the first line of every serialized plan. The trailing
@@ -57,6 +59,9 @@ func encodeRule(r Rule) string {
 	}
 	if r.Graft != "" {
 		parts = append(parts, "graft="+r.Graft)
+	}
+	if r.Site != "" {
+		parts = append(parts, "site="+string(r.Site))
 	}
 	return strings.Join(parts, " ")
 }
@@ -116,12 +121,12 @@ func decodeRule(fields []string) (Rule, error) {
 		return r, fmt.Errorf("rule wants a class")
 	}
 	known := make(map[Class]bool)
-	for _, c := range ExtendedClasses() {
+	for _, c := range AllClasses() {
 		known[c] = true
 	}
 	r.Class = Class(fields[0])
 	if !known[r.Class] {
-		return r, fmt.Errorf("unknown class %q (known: %v)", fields[0], ExtendedClasses())
+		return r, fmt.Errorf("unknown class %q (known: %v)", fields[0], AllClasses())
 	}
 	sawTrigger := false
 	for _, f := range fields[1:] {
@@ -181,6 +186,12 @@ func decodeRule(fields []string) (Rule, error) {
 				return r, fmt.Errorf("empty graft key")
 			}
 			r.Graft = val
+		case "site":
+			site, err := crash.ParseSite(val)
+			if err != nil {
+				return r, fmt.Errorf("bad site=%q", val)
+			}
+			r.Site = site
 		default:
 			return r, fmt.Errorf("unknown field %q", key)
 		}
@@ -190,6 +201,9 @@ func decodeRule(fields []string) (Rule, error) {
 	}
 	if r.EveryN > 0 && r.At > 0 {
 		return r, fmt.Errorf("rule %s sets both at= and every=", r.Class)
+	}
+	if r.Class == Panic && r.Site == "" {
+		return r, fmt.Errorf("rule panic needs site=")
 	}
 	return r, nil
 }

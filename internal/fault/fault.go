@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"vino/internal/crash"
 	"vino/internal/simclock"
 	"vino/internal/trace"
 )
@@ -62,6 +63,14 @@ const (
 	// resets connections before their handlers start. Extended class:
 	// selected explicitly or via ExtendedClasses, never by default.
 	NetIO Class = "netio"
+	// Panic injects a kernel crash at a seed-derived hook site —
+	// including *inside* commit, abort, and undo processing, the escape
+	// routes §6 admits the transaction system cannot survive. Rules of
+	// this class carry a Site; the injector panics with a classified
+	// *crash.Panic that the kernel boundary contains and recovers from.
+	// Crash class: fires only while the injector's crash gate is armed
+	// (EnableCrash), so classic chaos phases never see it.
+	Panic Class = "panic"
 )
 
 // Classes returns every classic class, in canonical order. This set is
@@ -77,6 +86,15 @@ func ExtendedClasses() []Class {
 	return append(Classes(), NetIO)
 }
 
+// AllClasses returns every class the decoder accepts: the extended set
+// plus the crash class (panic). The crash class never joins
+// ExtendedClasses — `-extended` widens the environment-fault surface,
+// while crashes are armed separately (`-crash`) because they need the
+// recovery machinery to be survivable.
+func AllClasses() []Class {
+	return append(ExtendedClasses(), Panic)
+}
+
 // ParseClasses parses a comma-separated class list ("disk,graft,lock").
 // The empty string means every class.
 func ParseClasses(s string) ([]Class, error) {
@@ -84,7 +102,7 @@ func ParseClasses(s string) ([]Class, error) {
 		return Classes(), nil
 	}
 	known := make(map[Class]bool)
-	for _, c := range ExtendedClasses() {
+	for _, c := range AllClasses() {
 		known[c] = true
 	}
 	var out []Class
@@ -141,6 +159,9 @@ type Rule struct {
 	Write bool
 	// Graft is the graft-library key for Graft and Lock rules.
 	Graft string
+	// Site aims a Panic rule at one crash site (dispatch, commit,
+	// abort, undo, lock, resource).
+	Site crash.Site
 }
 
 // String renders the rule for plan inspection.
@@ -170,6 +191,9 @@ func (r Rule) String() string {
 	}
 	if r.Graft != "" {
 		fmt.Fprintf(&b, " graft=%s", r.Graft)
+	}
+	if r.Site != "" {
+		fmt.Fprintf(&b, " site=%s", r.Site)
 	}
 	return b.String()
 }
@@ -205,8 +229,8 @@ func genRule(rng *rand.Rand, c Class) Rule {
 	r := Rule{Class: c}
 	switch c {
 	case Disk:
-		r.EveryN = 5 + rng.Int63n(36)      // every 5th..40th access
-		r.Write = rng.Intn(10) < 3         // ~30% hit the write path
+		r.EveryN = 5 + rng.Int63n(36) // every 5th..40th access
+		r.Write = rng.Intn(10) < 3    // ~30% hit the write path
 	case Latency:
 		if rng.Intn(2) == 0 {
 			r.EveryN = 4 + rng.Int63n(20) // one slow access every N
@@ -230,8 +254,47 @@ func genRule(rng *rand.Rand, c Class) Rule {
 	case NetIO:
 		r.EveryN = 3 + rng.Int63n(6) // fail every 3rd..8th stream op
 		r.Write = rng.Intn(2) == 0
+	case Panic:
+		sites := crash.Sites()
+		r.Site = sites[rng.Intn(len(sites))]
+		r.EveryN = crashEveryN(rng, r.Site)
 	}
 	return r
+}
+
+// crashEveryN draws a Panic rule's cadence. Sites nearer the front of a
+// graft invocation (dispatch) would otherwise shadow the deeper ones —
+// a dispatch crash ends the round before commit/abort/undo processing
+// is ever reached — so the shallow sites fire sparsely and the deep
+// ones densely.
+func crashEveryN(rng *rand.Rand, s crash.Site) int64 {
+	switch s {
+	case crash.SiteDispatch:
+		return 9 + rng.Int63n(6)
+	case crash.SiteLock:
+		return 6 + rng.Int63n(5)
+	case crash.SiteResource:
+		return 5 + rng.Int63n(4)
+	default: // commit, abort, undo: the paper's uncovered escape routes
+		return 4 + rng.Int63n(4)
+	}
+}
+
+// NewCrashRules derives perSite Panic rules for every crash site from a
+// PRNG seeded with seed. The chaos harness appends them to its plan
+// when the crash phase is requested; equal arguments yield equal rules.
+func NewCrashRules(seed int64, perSite int) []Rule {
+	if perSite <= 0 {
+		perSite = 1
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x637261736865732e)) // distinct stream from NewPlan
+	var out []Rule
+	for _, s := range crash.Sites() {
+		for i := 0; i < perSite; i++ {
+			out = append(out, Rule{Class: Panic, Site: s, EveryN: crashEveryN(rng, s)})
+		}
+	}
+	return out
 }
 
 // RulesFor returns the plan's rules of one class, in plan order.
@@ -285,6 +348,13 @@ type Injector struct {
 	netReads  int64
 	netWrites int64
 
+	// Crash plane: gated separately from Armed so classic phases of a
+	// crash-mode run never panic. siteHits counts consultations per
+	// site only while the gate is open; crashed counts fired panics.
+	crashEnabled bool
+	siteHits     map[crash.Site]int64
+	crashed      map[crash.Site]int64
+
 	oneShot   map[int]bool          // rule index -> already fired (At one-shots)
 	windowEnd map[int]time.Duration // windowed rule index -> armed window close
 }
@@ -299,6 +369,8 @@ func NewInjector(p *Plan, clock *simclock.Clock, tr *trace.Buffer) *Injector {
 		firedBy:   make(map[Class]int64),
 		oneShot:   make(map[int]bool),
 		windowEnd: make(map[int]time.Duration),
+		siteHits:  make(map[crash.Site]int64),
+		crashed:   make(map[crash.Site]int64),
 	}
 }
 
@@ -566,4 +638,64 @@ func (in *Injector) Note(c Class, subject, detail string) {
 		return
 	}
 	in.fire(c, subject, detail)
+}
+
+// EnableCrash opens the crash gate: Panic rules may fire at their
+// sites. The chaos harness opens it only for the crash phase; the
+// kernel closes it while a recovery is in progress. Nil-safe.
+func (in *Injector) EnableCrash() {
+	if in != nil {
+		in.crashEnabled = true
+	}
+}
+
+// DisableCrash closes the crash gate. Nil-safe.
+func (in *Injector) DisableCrash() {
+	if in != nil {
+		in.crashEnabled = false
+	}
+}
+
+// CrashArmed reports whether injected crashes can fire (nil-safe).
+func (in *Injector) CrashArmed() bool { return in != nil && in.crashEnabled && !in.disarmed }
+
+// CrashedBySite reports fired panics per crash site (nil-safe copy).
+func (in *Injector) CrashedBySite() map[crash.Site]int64 {
+	out := make(map[crash.Site]int64)
+	if in == nil {
+		return out
+	}
+	for s, n := range in.crashed {
+		out[s] = n
+	}
+	return out
+}
+
+// MaybeCrash is the crash-site hook: consulted at each instrumented
+// point in the kernel (graft dispatch, txn commit/abort/undo, lock
+// release, resource release). When a Panic rule aimed at this site is
+// due, the hook records the injection and panics with a classified
+// *crash.Panic carrying the guard key of the graft whose dispatch is
+// active (crash attribution for the health ledger). Nil-safe and free
+// while the crash gate is closed.
+func (in *Injector) MaybeCrash(site crash.Site, graftKey string) {
+	if !in.CrashArmed() {
+		return
+	}
+	in.siteHits[site]++
+	for i, r := range in.plan.Rules {
+		if r.Class != Panic || r.Site != site {
+			continue
+		}
+		if in.due(i, r, in.siteHits[site]) {
+			in.fire(Panic, string(site), fmt.Sprintf("injected kernel panic (%s)", crash.SiteClass(site)))
+			in.crashed[site]++
+			panic(&crash.Panic{
+				Class:  crash.SiteClass(site),
+				Site:   site,
+				Graft:  graftKey,
+				Reason: "injected crash",
+			})
+		}
+	}
 }

@@ -28,6 +28,13 @@ const (
 // indexes into this slice, so the order is part of determinism).
 var GraftKeys = []string{GraftLoop, GraftWildStore, GraftHoard, GraftBlowout, GraftAbortUndo}
 
+// GraftAllocFree is a *well-behaved* graft: allocate kernel heap, free
+// it, commit. The crash phase uses it to drive the commit and
+// kheap-free (resource) crash sites with committing transactions.
+// Deliberately NOT in GraftKeys — classic plan generation indexes that
+// slice, so its length is frozen.
+const GraftAllocFree = "allocfree"
+
 // graftSources maps each key to its GIR source.
 var graftSources = map[string]string{
 	// The §2.2 infinite loop: never yields, never returns. The
@@ -86,6 +93,23 @@ main:
 loop:
     callk vino.kheap_alloc
     jmp loop
+`,
+
+	// The well-behaved allocator: one page in, one page out, clean
+	// return. Its commit exercises the deep crash sites without any
+	// misbehavior of its own.
+	GraftAllocFree: `
+.name fault-allocfree
+.import vino.kheap_alloc
+.import vino.kheap_free
+.func main
+main:
+    movi r1, 4096
+    callk vino.kheap_alloc
+    movi r1, 4096
+    callk vino.kheap_free
+    movi r0, 0
+    ret
 `,
 
 	// The nastiest case: take the hoard lock, push an undo record that

@@ -1,0 +1,199 @@
+package fs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Crash checkpoint/restore for the file system. The durable image —
+// the namespace, file contents (dirty blocks), descriptor table and
+// counters — is restored exactly; the volatile buffer cache and
+// read-ahead machinery come back empty, as after a reboot. Files
+// created and descriptors opened after the checkpoint vanish; their
+// stale handles fail closed.
+
+type fileSnap struct {
+	file  *File
+	dirty map[int64][]byte
+}
+
+type ofSnap struct {
+	of       *OpenFile
+	raWindow int64
+	queue    []int64
+	lastOff  int64
+	lastLen  int64
+	haveLast bool
+
+	reads, cacheHits, syncStalls int64
+	prefetchUsed, prefetchQueued int64
+	stallTime                    time.Duration
+}
+
+type fsSnap struct {
+	files   map[string]*fileSnap
+	dirs    map[string]bool
+	fds     map[int]*ofSnap
+	nextFD  int
+	nextLBA int64
+	stats   Stats
+}
+
+func copyDirty(m map[int64][]byte) map[int64][]byte {
+	out := make(map[int64][]byte, len(m))
+	for b, d := range m {
+		out[b] = append([]byte(nil), d...)
+	}
+	return out
+}
+
+// CrashName implements crash.Snapshotter.
+func (fs *FS) CrashName() string { return "fs" }
+
+// CrashSnapshot implements crash.Snapshotter.
+func (fs *FS) CrashSnapshot() any {
+	s := &fsSnap{
+		files:   make(map[string]*fileSnap, len(fs.files)),
+		dirs:    make(map[string]bool, len(fs.dirs)),
+		fds:     make(map[int]*ofSnap, len(fs.fdTable)),
+		nextFD:  fs.nextFD,
+		nextLBA: fs.nextLBA,
+		stats:   fs.stats,
+	}
+	for n, f := range fs.files {
+		s.files[n] = &fileSnap{file: f, dirty: copyDirty(f.dirty)}
+	}
+	for d := range fs.dirs {
+		s.dirs[d] = true
+	}
+	for fd, of := range fs.fdTable {
+		s.fds[fd] = &ofSnap{
+			of:             of,
+			raWindow:       of.RAWindow,
+			queue:          append([]int64(nil), of.queue...),
+			lastOff:        of.lastOff,
+			lastLen:        of.lastLen,
+			haveLast:       of.haveLast,
+			reads:          of.Reads,
+			cacheHits:      of.CacheHits,
+			syncStalls:     of.SyncStalls,
+			prefetchUsed:   of.PrefetchUsed,
+			prefetchQueued: of.PrefetchQueued,
+			stallTime:      of.StallTime,
+		}
+	}
+	return s
+}
+
+// CrashRestore implements crash.Snapshotter.
+func (fs *FS) CrashRestore(snap any) {
+	s := snap.(*fsSnap)
+	// Descriptors opened after the checkpoint fail closed.
+	for fd, of := range fs.fdTable {
+		if _, ok := s.fds[fd]; !ok {
+			of.closed = true
+		}
+	}
+	fs.files = make(map[string]*File, len(s.files))
+	for n, fsn := range s.files {
+		fsn.file.dirty = copyDirty(fsn.dirty)
+		fs.files[n] = fsn.file
+	}
+	fs.dirs = make(map[string]bool, len(s.dirs))
+	for d := range s.dirs {
+		fs.dirs[d] = true
+	}
+	fs.fdTable = make(map[int]*OpenFile, len(s.fds))
+	for fd, osn := range s.fds {
+		of := osn.of
+		of.closed = false
+		of.RAWindow = osn.raWindow
+		of.queue = append([]int64(nil), osn.queue...)
+		of.lastOff, of.lastLen, of.haveLast = osn.lastOff, osn.lastLen, osn.haveLast
+		of.Reads, of.CacheHits, of.SyncStalls = osn.reads, osn.cacheHits, osn.syncStalls
+		of.PrefetchUsed, of.PrefetchQueued = osn.prefetchUsed, osn.prefetchQueued
+		of.StallTime = osn.stallTime
+		fs.fdTable[fd] = of
+	}
+	fs.nextFD = s.nextFD
+	fs.nextLBA = s.nextLBA
+	fs.stats = s.stats
+	// The buffer cache and read-ahead reservations are volatile: they
+	// come back empty, like RAM after a reboot. Pending fetch callbacks
+	// died with the clock reset.
+	fs.cache = newCache(fs.cache.capacity)
+	fs.raOutstanding = 0
+}
+
+// Fsck audits the file system's structural invariants. It is meant to
+// run at quiescent points (after a Run round, or after crash recovery);
+// the returned slice is empty when the image is consistent.
+func (fs *FS) Fsck() []string {
+	var bad []string
+	fds := make([]int, 0, len(fs.fdTable))
+	for fd := range fs.fdTable {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	for _, fd := range fds {
+		of := fs.fdTable[fd]
+		switch {
+		case of == nil:
+			bad = append(bad, fmt.Sprintf("fd %d: nil entry", fd))
+			continue
+		case of.closed:
+			bad = append(bad, fmt.Sprintf("fd %d: closed but still in table", fd))
+		case of.fd != fd:
+			bad = append(bad, fmt.Sprintf("fd %d: entry claims fd %d", fd, of.fd))
+		}
+		if got, ok := fs.files[of.file.Name]; !ok || got != of.file {
+			bad = append(bad, fmt.Sprintf("fd %d: file %q not in namespace", fd, of.file.Name))
+		}
+		seen := make(map[int64]bool)
+		for _, b := range of.queue {
+			if b < 0 || b >= of.file.Blocks() {
+				bad = append(bad, fmt.Sprintf("fd %d: queued block %d outside file (%d blocks)", fd, b, of.file.Blocks()))
+			}
+			if seen[b] {
+				bad = append(bad, fmt.Sprintf("fd %d: block %d queued twice", fd, b))
+			}
+			seen[b] = true
+		}
+	}
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fs.files[n]
+		for b, d := range f.dirty {
+			if b < 0 || b >= f.Blocks() {
+				bad = append(bad, fmt.Sprintf("file %q: dirty block %d outside file", n, b))
+			}
+			if len(d) != BlockSize {
+				bad = append(bad, fmt.Sprintf("file %q: dirty block %d has %d bytes", n, b, len(d)))
+			}
+		}
+	}
+	if fs.cache.lru.Len() != len(fs.cache.byLBA) {
+		bad = append(bad, fmt.Sprintf("cache: lru holds %d blocks, index %d", fs.cache.lru.Len(), len(fs.cache.byLBA)))
+	}
+	if fs.cache.lru.Len() > fs.cache.capacity {
+		bad = append(bad, fmt.Sprintf("cache: %d blocks resident, capacity %d", fs.cache.lru.Len(), fs.cache.capacity))
+	}
+	for e := fs.cache.lru.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*cacheEntry)
+		if got, ok := fs.cache.byLBA[ent.lba]; !ok || got != e {
+			bad = append(bad, fmt.Sprintf("cache: lba %d not indexed consistently", ent.lba))
+		}
+	}
+	if fs.raOutstanding != 0 {
+		bad = append(bad, fmt.Sprintf("%d read-ahead I/Os outstanding at quiescence", fs.raOutstanding))
+	}
+	if n := len(fs.cache.fetching); n != 0 {
+		bad = append(bad, fmt.Sprintf("%d fetches in flight at quiescence", n))
+	}
+	return bad
+}

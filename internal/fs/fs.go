@@ -88,6 +88,9 @@ func New(k *kernel.Kernel, disk *Disk, cacheBlocks int) *FS {
 		},
 	}
 	fs.registerCallables()
+	if k.Crash != nil {
+		k.Crash.Register(fs)
+	}
 	return fs
 }
 

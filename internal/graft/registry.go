@@ -6,6 +6,8 @@ import (
 	"sort"
 	"time"
 
+	"vino/internal/crash"
+	"vino/internal/fault"
 	"vino/internal/guard"
 	"vino/internal/resource"
 	"vino/internal/sched"
@@ -62,6 +64,10 @@ type Registry struct {
 	// grafts are quarantined/expelled by policy instead of removed on
 	// the first abort. Nil preserves the classic remove-on-abort path.
 	Supervisor *guard.Supervisor
+	// Faults, when set, lets the injector's crash gate plant kernel
+	// panics at the graft dispatch boundary and stamp escaping panics
+	// with the guard key of the graft whose dispatch was active.
+	Faults *fault.Injector
 
 	callables map[string]Callable
 	points    map[string]*Point
@@ -324,6 +330,26 @@ func (r *Registry) Install(t *sched.Thread, pointName string, img *sfi.Image, op
 // Remove detaches a graft voluntarily (application teardown).
 func (r *Registry) Remove(g *Installed) { r.remove(g) }
 
+// RemoveGuardKey removes every installed graft whose guard key matches.
+// Crash recovery uses it when the supervisor's verdict for the graft
+// blamed for a kernel panic is expulsion: the ledger survives the
+// restore, the graft does not. Returns the number of grafts removed.
+func (r *Registry) RemoveGuardKey(key string) int {
+	var victims []*Installed
+	for g := range r.installed {
+		if g.GuardKey() == key {
+			victims = append(victims, g)
+		}
+	}
+	// Map iteration order is random; removal emits trace events, so keep
+	// the order deterministic.
+	sort.Slice(victims, func(i, j int) bool { return victims[i].Order < victims[j].Order })
+	for _, g := range victims {
+		r.remove(g)
+	}
+	return len(victims)
+}
+
 func (r *Registry) remove(g *Installed) {
 	if g.removed {
 		return
@@ -377,6 +403,10 @@ func (p *Point) Invoke(t *sched.Thread, args ...int64) (int64, error) {
 			probation = true
 		}
 	}
+	// The dispatch crash models the graft corrupting the kernel as control
+	// transfers into it, so it fires only once the supervisor has admitted
+	// the call: a quarantined graft that never runs cannot panic dispatch.
+	p.reg.Faults.MaybeCrash(crash.SiteDispatch, g.GuardKey())
 	res, err := p.reg.invokeSupervised(t, g, probation, args)
 	if err != nil {
 		// Forcible removal: new invocations use normal kernel code.
@@ -441,6 +471,19 @@ func abortCause(err error, undoPanicked bool) txn.AbortCause {
 func (r *Registry) invokeGraft(t *sched.Thread, g *Installed, probation bool, args []int64) (int64, error) {
 	p := g.Point
 	p.stats.GraftedCalls++
+	if r.Faults.CrashArmed() {
+		// A contained kernel panic escaping this dispatch (from commit,
+		// abort or undo processing) is attributed to the graft whose
+		// invocation was active when it struck.
+		defer func() {
+			if rec := recover(); rec != nil {
+				if cp, ok := crash.IsPanic(rec); ok && cp.Graft == "" {
+					cp.Graft = g.GuardKey()
+				}
+				panic(rec)
+			}
+		}()
+	}
 	if p.NoTxn {
 		return r.invokeGraftUnprotected(t, g, args)
 	}
@@ -544,6 +587,75 @@ func (r *Registry) invokeGraftUnprotected(t *sched.Thread, g *Installed, args []
 		res, err = p.Validate(t, args, res)
 	}
 	return res, err
+}
+
+// regSnap captures the registry's membership state: the point
+// namespace and which grafts are installed where. Per-point and
+// registry-wide counters are lifetime statistics and deliberately
+// survive a restore (like the scheduler's), as does the supervisor's
+// health ledger.
+type regSnap struct {
+	points    map[string]*Point
+	installed []*Installed
+	grafted   map[*Point]*Installed
+	handlers  map[*Point][]*Installed
+}
+
+// CrashName implements crash.Snapshotter.
+func (r *Registry) CrashName() string { return "grafts" }
+
+// CrashSnapshot implements crash.Snapshotter.
+func (r *Registry) CrashSnapshot() any {
+	s := &regSnap{
+		points:   make(map[string]*Point, len(r.points)),
+		grafted:  make(map[*Point]*Installed, len(r.points)),
+		handlers: make(map[*Point][]*Installed, len(r.points)),
+	}
+	for n, p := range r.points {
+		s.points[n] = p
+		s.grafted[p] = p.grafted
+		s.handlers[p] = append([]*Installed(nil), p.handlers...)
+	}
+	for g := range r.installed {
+		s.installed = append(s.installed, g)
+	}
+	return s
+}
+
+// CrashRestore implements crash.Snapshotter. Points registered and
+// grafts installed after the checkpoint vanish (their handles fail
+// closed via the removed flag); grafts removed after the checkpoint are
+// reinstated — if the supervisor expelled one in the lost epoch the
+// ledger still bars it at dispatch, so reinstatement cannot resurrect a
+// banned graft's code path.
+func (r *Registry) CrashRestore(snap any) {
+	s := snap.(*regSnap)
+	inSnap := make(map[*Installed]bool, len(s.installed))
+	for _, g := range s.installed {
+		inSnap[g] = true
+	}
+	for g := range r.installed {
+		if !inSnap[g] {
+			g.removed = true
+			g.curThread = nil
+		}
+	}
+	r.points = make(map[string]*Point, len(s.points))
+	for n, p := range s.points {
+		r.points[n] = p
+	}
+	r.installed = make(map[*Installed]bool, len(s.installed))
+	for _, g := range s.installed {
+		g.removed = false
+		g.curThread = nil
+		r.installed[g] = true
+	}
+	for p, g := range s.grafted {
+		p.grafted = g
+	}
+	for p, hs := range s.handlers {
+		p.handlers = append([]*Installed(nil), hs...)
+	}
 }
 
 // Trigger fires an event point: for each installed handler, in order, a

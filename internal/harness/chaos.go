@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"vino/internal/crash"
 	"vino/internal/fault"
 	vfs "vino/internal/fs"
 	"vino/internal/graft"
@@ -68,6 +69,25 @@ type ChaosConfig struct {
 	// handler ordering — from a stream derived from Seed, so policies
 	// are exercised against varied installs deterministically.
 	VaryInstalls bool
+	// Crash arms the crash phase: Panic rules join the plan, the kernel
+	// checkpoints its state at CheckpointEvery, and injected kernel
+	// panics — including ones striking inside commit, abort and undo
+	// processing — are contained and recovered from the last checkpoint.
+	// The classic phases run first, unchanged: the injector's crash gate
+	// opens only for the crash phase, so traces of non-crash runs stay
+	// byte-identical.
+	Crash bool
+	// CheckpointEvery overrides the virtual-time checkpoint cadence
+	// (default 20 ms) when Crash is set.
+	CheckpointEvery time.Duration
+	// CrashRulesPerSite is how many Panic rules are derived per crash
+	// site (default 2) when Crash is set and no explicit Plan is given.
+	CrashRulesPerSite int
+	// NoRecover disables checkpointing and recovery: the first injected
+	// panic of the crash phase is fatal and reported as FatalPanic. The
+	// minimizer replays candidate plans under NoRecover to check that a
+	// shrunken plan still reproduces the same failure signature.
+	NoRecover bool
 }
 
 func (cfg ChaosConfig) withDefaults() ChaosConfig {
@@ -89,6 +109,14 @@ func (cfg ChaosConfig) withDefaults() ChaosConfig {
 	}
 	if cfg.TraceDepth <= 0 {
 		cfg.TraceDepth = 8192
+	}
+	if cfg.Crash {
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = 20 * time.Millisecond
+		}
+		if cfg.CrashRulesPerSite <= 0 {
+			cfg.CrashRulesPerSite = 2
+		}
 	}
 	return cfg
 }
@@ -125,6 +153,17 @@ type ChaosReport struct {
 	TraceTotal int64
 	// WatchdogFires echoes the graft registry's watchdog counter.
 	WatchdogFires int64
+	// Panics, Recoveries and Checkpoints count the crash phase's
+	// contained kernel panics, completed recoveries and checkpoints
+	// taken (all zero unless the run was configured with Crash).
+	Panics, Recoveries, Checkpoints int64
+	// PanicsByClass buckets the contained panics by crash class.
+	PanicsByClass map[crash.Class]int64
+	// CrashedSites buckets fired panic injections by crash site.
+	CrashedSites map[crash.Site]int64
+	// FatalPanic is the "class@site" of the panic that ended a NoRecover
+	// run, "" otherwise.
+	FatalPanic string
 	// InjectedByClass buckets fault-plane firings by class.
 	InjectedByClass map[fault.Class]int64
 	// GuardHealth snapshots the supervisor's ledger (nil unless the run
@@ -161,6 +200,23 @@ func (r *ChaosReport) Summary() string {
 		fmt.Fprintf(&b, "chaos: guard tracked %d grafts, %d quarantines, %d expelled\n",
 			len(r.GuardHealth.Grafts), r.GuardHealth.Quarantines(), r.GuardHealth.Expulsions())
 	}
+	if r.Panics > 0 || r.Recoveries > 0 {
+		fmt.Fprintf(&b, "chaos: %d kernel panics contained, %d recoveries, %d checkpoints\n",
+			r.Panics, r.Recoveries, r.Checkpoints)
+		classes := make([]string, 0, len(r.PanicsByClass))
+		for cl := range r.PanicsByClass {
+			classes = append(classes, string(cl))
+		}
+		sort.Strings(classes)
+		parts := make([]string, 0, len(classes))
+		for _, cl := range classes {
+			parts = append(parts, fmt.Sprintf("%s=%d", cl, r.PanicsByClass[crash.Class(cl)]))
+		}
+		fmt.Fprintf(&b, "chaos: panics by class: %s\n", strings.Join(parts, " "))
+	}
+	if r.FatalPanic != "" {
+		fmt.Fprintf(&b, "chaos: FATAL kernel panic %s (recovery disabled)\n", r.FatalPanic)
+	}
 	fmt.Fprintf(&b, "chaos: follow-up workload ok: %v; survived: %v (virtual %v, %d trace events)\n",
 		r.FollowupOK, r.Survived(), r.Elapsed, r.TraceTotal)
 	return b.String()
@@ -194,9 +250,16 @@ type chaosRun struct {
 	k      *kernel.Kernel
 	fsys   *vfs.FS // shared: fs callables register once per kernel
 	report *ChaosReport
+	// vm is the most recent vmm instance (eviction/pager phase), kept so
+	// the post-recovery audit can check frame-table consistency.
+	vm *vmm.VMM
 	// injected tracks every misbehaving graft for post-abort audits.
 	injected []*injectedGraft
 	nInject  int
+	// crashGrafts tracks the crash phase's graft installs for the
+	// post-recovery account audit; nCrash numbers their points.
+	crashGrafts []*graft.Installed
+	nCrash      int
 	// instRng, when non-nil (VaryInstalls), draws randomized install
 	// options. It is seeded from cfg.Seed on a stream separate from the
 	// plan's, and every draw happens at a deterministic point in the
@@ -248,16 +311,23 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	plan := cfg.Plan
 	if plan == nil {
 		plan = fault.NewPlan(cfg.Seed, cfg.Classes, cfg.RulesPerClass)
+		if cfg.Crash {
+			plan.Rules = append(plan.Rules, fault.NewCrashRules(cfg.Seed, cfg.CrashRulesPerSite)...)
+		}
 	} else {
 		cfg.Seed = plan.Seed
 	}
-	k := kernel.New(kernel.Config{
+	kcfg := kernel.Config{
 		TraceDepth:  cfg.TraceDepth,
 		Seed:        cfg.Seed,
 		NumCPUs:     cfg.NCPU,
 		FaultPlan:   plan,
 		GuardPolicy: cfg.Guard,
-	})
+	}
+	if cfg.Crash && !cfg.NoRecover {
+		kcfg.CheckpointEvery = cfg.CheckpointEvery
+	}
+	k := kernel.New(kcfg)
 	c := &chaosRun{cfg: cfg, k: k, report: &ChaosReport{Plan: plan}}
 	if cfg.VaryInstalls {
 		c.instRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5EED_1057A11))
@@ -278,9 +348,22 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			run  func() error
 		}{"pager", c.phasePager})
 	}
+	if cfg.Crash {
+		phases = append(phases, struct {
+			name string
+			run  func() error
+		}{"crash", c.phaseCrash})
+	}
 	for _, ph := range phases {
 		if err := ph.run(); err != nil {
 			return nil, fmt.Errorf("chaos %s phase: %w", ph.name, err)
+		}
+		if c.report.FatalPanic != "" {
+			// A NoRecover run ends at its first panic: the kernel state is
+			// deliberately left un-recovered, so neither the invariant
+			// audit nor the follow-up workload applies.
+			c.finishReport()
+			return c.report, nil
 		}
 		c.checkInvariants("after " + ph.name + " phase")
 	}
@@ -310,6 +393,12 @@ func (c *chaosRun) finishReport() {
 		gr := c.k.Guard.Report()
 		r.GuardHealth = &gr
 	}
+	if c.k.Crash != nil {
+		cs := c.k.Crash.Stats()
+		r.Panics, r.Recoveries, r.Checkpoints = cs.Panics, cs.Recoveries, cs.Checkpoints
+		r.PanicsByClass = cs.ByClass
+	}
+	r.CrashedSites = c.k.Faults.CrashedBySite()
 	r.Elapsed = c.k.Clock.Now()
 	r.TraceDump = c.k.Trace.Dump()
 	r.TraceTotal = c.k.Trace.Total()
@@ -587,6 +676,7 @@ func (c *chaosRun) phaseReadAhead() error {
 // are in the plan.
 func (c *chaosRun) phaseEviction() error {
 	v := vmm.New(c.k, 96)
+	c.vm = v
 	wantGraft := len(c.report.Plan.RulesFor(fault.Graft)) > 0
 	var fail error
 	c.k.SpawnProcess("chaos-vm", graft.Root, func(p *kernel.Process) {
@@ -723,6 +813,7 @@ out:
 func (c *chaosRun) phasePager() error {
 	fsys := c.fsys
 	v := vmm.New(c.k, 48)
+	c.vm = v
 	file := fsys.Create("chaos-mapped", 64*vfs.BlockSize, graft.Root, false)
 	var fail error
 	var hardFaults int64

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"vino/internal/fault"
+)
+
+// The fault-plan minimizer: delta-debugging for chaos failures. A
+// failing seed's plan often carries dozens of rules of which only a few
+// matter; Minimize replays the run with rules deleted one at a time and
+// keeps every deletion that preserves the failure signature, producing
+// a minimal standalone reproducer for vinosim -faultfile.
+
+// Signature reduces a chaos report to the identity of its failure: the
+// contained "kernel-panic class@site" of a NoRecover run, or the first
+// invariant violation with digits normalized (counts and virtual times
+// shift as the plan shrinks; the *shape* of the violation must not).
+// A surviving report has signature "".
+func Signature(r *ChaosReport) string {
+	if r.FatalPanic != "" {
+		return "kernel-panic " + r.FatalPanic
+	}
+	if len(r.Violations) > 0 {
+		return normalizeDigits(r.Violations[0])
+	}
+	if !r.FollowupOK {
+		return "follow-up failed"
+	}
+	return ""
+}
+
+// normalizeDigits replaces every digit run with '#'.
+func normalizeDigits(s string) string {
+	var b strings.Builder
+	inRun := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			if !inRun {
+				b.WriteByte('#')
+				inRun = true
+			}
+			continue
+		}
+		inRun = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// MinimizeResult is the outcome of a minimization.
+type MinimizeResult struct {
+	// Plan is the minimal plan: every remaining rule is necessary (its
+	// lone deletion loses the signature).
+	Plan *fault.Plan
+	// Signature is the failure identity every kept candidate reproduced.
+	Signature string
+	// Runs counts chaos replays performed (including the baseline).
+	Runs int
+	// Removed counts rules deleted from the original plan.
+	Removed int
+}
+
+// Minimize delta-debugs the failing run's fault plan. The config must
+// fail as given (non-empty Signature) — typically a crash run replayed
+// under NoRecover so the first contained panic is the failure — and the
+// result's plan is strictly smaller unless every rule is load-bearing.
+//
+// The reduction is greedy ddmin at granularity one: each pass tries
+// deleting every rule in turn against the current best plan, keeps the
+// first deletion that preserves the signature, and restarts; it stops
+// when a full pass removes nothing. Every replay is a full deterministic
+// chaos run, so the minimal plan is exact, not probabilistic.
+func Minimize(cfg ChaosConfig) (*MinimizeResult, error) {
+	cfg = cfg.withDefaults()
+	base, err := RunChaos(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("minimize baseline: %w", err)
+	}
+	sig := Signature(base)
+	if sig == "" {
+		return nil, fmt.Errorf("minimize: run with seed %d does not fail", base.Plan.Seed)
+	}
+
+	best := base.Plan
+	res := &MinimizeResult{Signature: sig, Runs: 1}
+	for {
+		shrunk := false
+		for i := range best.Rules {
+			cand := &fault.Plan{Seed: best.Seed, Rules: make([]fault.Rule, 0, len(best.Rules)-1)}
+			cand.Rules = append(cand.Rules, best.Rules[:i]...)
+			cand.Rules = append(cand.Rules, best.Rules[i+1:]...)
+			ccfg := cfg
+			ccfg.Plan = cand
+			rep, err := RunChaos(ccfg)
+			res.Runs++
+			if err != nil {
+				// A candidate that breaks the harness itself (not the
+				// kernel) is simply not a reproducer; keep the rule.
+				continue
+			}
+			if Signature(rep) == sig {
+				best = cand
+				res.Removed++
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	res.Plan = best
+	return res, nil
+}

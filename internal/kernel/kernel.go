@@ -7,9 +7,11 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"vino/internal/crash"
 	"vino/internal/fault"
 	"vino/internal/graft"
 	"vino/internal/guard"
@@ -61,6 +63,12 @@ type Config struct {
 	// removed on the first abort. Nil keeps the classic remove-on-abort
 	// behaviour (and byte-identical traces for existing seeds).
 	GuardPolicy *guard.Policy
+	// CheckpointEvery, when positive, arms crash containment: the kernel
+	// checkpoints its recoverable state at this virtual-time cadence and
+	// RunRecovered restores the last checkpoint instead of dying when a
+	// contained kernel panic strikes. Zero (the default) disables
+	// checkpointing, keeping the classic path byte-identical.
+	CheckpointEvery time.Duration
 }
 
 // Kernel is one simulated machine.
@@ -83,6 +91,9 @@ type Kernel struct {
 	// Guard is the graft supervisor (nil unless GuardPolicy was set);
 	// Guard.Report() snapshots the health ledger.
 	Guard *guard.Supervisor
+	// Crash is the checkpoint/restore manager (nil unless CheckpointEvery
+	// was set). Crash.Stats() counts checkpoints, panics and recoveries.
+	Crash *crash.Manager
 	// Seed echoes Config.Seed for subsystems that derive their own
 	// deterministic decisions from it.
 	Seed int64
@@ -137,10 +148,22 @@ func New(cfg Config) *Kernel {
 	}
 	if cfg.FaultPlan != nil {
 		k.Faults = fault.NewInjector(cfg.FaultPlan, clock, tr)
+		txns.Faults = k.Faults
+		locks.Faults = k.Faults
+		reg.Faults = k.Faults
 	}
 	if cfg.GuardPolicy != nil {
 		k.Guard = guard.New(clock, tr, *cfg.GuardPolicy)
 		reg.Supervisor = k.Guard
+	}
+	if cfg.CheckpointEvery > 0 {
+		k.Crash = crash.NewManager(clock, tr, cfg.CheckpointEvery)
+		// Registration order is restore order: raw kernel state first,
+		// then the subsystems layered on it.
+		k.Crash.Register(k)
+		k.Crash.Register(txns)
+		k.Crash.Register(locks)
+		k.Crash.Register(reg)
 	}
 	k.registerBaseCallables()
 	if cfg.FaultPlan != nil {
@@ -166,6 +189,138 @@ func (k *Kernel) Run() error { return k.Sched.Run() }
 
 // Shutdown kills all remaining threads.
 func (k *Kernel) Shutdown() { k.Sched.Shutdown() }
+
+// kernelSnap captures the kernel's own recoverable state: the log, the
+// process table and every process's resource balances. Thread handles
+// are not snapshotted — threads die with the crash epoch and the
+// workload respawns them.
+type kernelSnap struct {
+	log      []string
+	procs    map[string]*Process
+	accounts map[string]*resource.AccountSnap
+	nextPID  int
+}
+
+// CrashName implements crash.Snapshotter.
+func (k *Kernel) CrashName() string { return "kernel" }
+
+// CrashSnapshot implements crash.Snapshotter.
+func (k *Kernel) CrashSnapshot() any {
+	s := &kernelSnap{
+		log:      append([]string(nil), k.log...),
+		procs:    make(map[string]*Process, len(k.processes)),
+		accounts: make(map[string]*resource.AccountSnap, len(k.processes)),
+		nextPID:  k.nextPID,
+	}
+	for n, p := range k.processes {
+		s.procs[n] = p
+		s.accounts[n] = p.Account.Snapshot()
+	}
+	return s
+}
+
+// CrashRestore implements crash.Snapshotter.
+func (k *Kernel) CrashRestore(snap any) {
+	s := snap.(*kernelSnap)
+	k.log = append([]string(nil), s.log...)
+	k.nextPID = s.nextPID
+	k.processes = make(map[string]*Process, len(s.procs))
+	for n, p := range s.procs {
+		k.processes[n] = p
+		p.Account.RestoreSnapshot(s.accounts[n])
+		p.Thread = nil // died with the crash epoch
+	}
+}
+
+// CheckpointIfDue takes a checkpoint when the configured cadence says
+// one is due. Call it at quiescent points (between Run rounds): the
+// simulated kernel cannot snapshot live goroutine stacks, so checkpoints
+// are only consistent when no thread is running. No-op without
+// CheckpointEvery.
+func (k *Kernel) CheckpointIfDue() bool {
+	if k.Crash == nil {
+		return false
+	}
+	return k.Crash.CheckpointIfDue()
+}
+
+// Checkpoint forces a checkpoint now regardless of cadence.
+func (k *Kernel) Checkpoint() {
+	if k.Crash != nil {
+		k.Crash.TakeCheckpoint()
+	}
+}
+
+// RunRecovered drives the scheduler like Run, but contains kernel
+// panics: a classified crash (or an event-loop stall) is caught at the
+// dispatcher boundary, the last checkpoint is restored, the offending
+// graft's abort is fed into the guard health ledger — which survives
+// the restore, so repeat offenders still escalate — and the simulation
+// resumes at the restored virtual-time frontier. It returns how many
+// panics were recovered. Without a checkpoint to restore (CheckpointEvery
+// unset, or a panic before the first checkpoint) the panic is fatal and
+// returned as the error.
+func (k *Kernel) RunRecovered() (recovered int, err error) {
+	for {
+		err := k.Sched.Run()
+		if err == nil {
+			return recovered, nil
+		}
+		var cp *crash.Panic
+		switch {
+		case errors.As(err, &cp):
+			// A planted or escaped kernel panic, already classified.
+		case errors.Is(err, sched.ErrDeadlock):
+			// The event loop stalled: every thread blocked with no
+			// pending event. Contained as a panic of class stall.
+			cp = &crash.Panic{Class: crash.Stall, Site: crash.SiteDispatch, Reason: "event loop stalled"}
+		default:
+			// A genuine bug in the simulator; never mask those.
+			return recovered, err
+		}
+		if k.Crash == nil || !k.Crash.HasCheckpoint() {
+			return recovered, err
+		}
+		k.recoverFromPanic(cp)
+		recovered++
+	}
+}
+
+// recoverFromPanic is the contained-panic path: quiesce, restore the
+// last checkpoint, attribute blame, rewind virtual time.
+func (k *Kernel) recoverFromPanic(cp *crash.Panic) {
+	crashedAt := k.Clock.Now()
+	// The crash gate closes during recovery: deferred lock releases on
+	// dying threads run through the same hooks that planted the panic,
+	// and a panic inside recovery would be fatal for real.
+	wasArmed := k.Faults.CrashArmed()
+	if k.Faults != nil {
+		k.Faults.DisableCrash()
+	}
+	k.Crash.RecordPanic(cp.Class)
+	k.Trace.Emit(crashedAt, trace.KernelPanic, fmt.Sprintf("%s@%s", cp.Class, cp.Site), cp.Error())
+	// Run returns immediately while the panic is latched; clear it
+	// before Shutdown (which drives Run to drain the kill signals).
+	k.Sched.TakePanic()
+	k.Sched.Shutdown()
+	at, _ := k.Crash.Restore()
+	// Blame lands after the restore so an expel verdict is not undone
+	// by the snapshot reinstating the graft. The cost fed to the ledger
+	// is the virtual time the crash destroyed: work since the checkpoint.
+	if cp.Graft != "" && k.Guard != nil {
+		if k.Guard.RecordAbort(cp.Graft, txn.ClassifyPanicCause(cp.Class), crashedAt-at) == guard.VerdictExpel {
+			k.Grafts.RemoveGuardKey(cp.Graft)
+		}
+	}
+	k.Clock.Reset(at)
+	k.Sched.CrashReset(at)
+	k.Crash.RecordRecovery()
+	k.Trace.Emit(at, trace.Recovery, fmt.Sprintf("%s@%s", cp.Class, cp.Site),
+		fmt.Sprintf("restored checkpoint, rewound %v", crashedAt-at))
+	if wasArmed {
+		k.Faults.EnableCrash()
+	}
+}
 
 // Process is a user-level process: one kernel thread plus identity and
 // resource limits.
@@ -269,6 +424,9 @@ func (k *Kernel) registerBaseCallables() {
 			return 0, fmt.Errorf("kheap_free: bad size %d", n)
 		}
 		acct := ctx.Account()
+		// Crash site: a kernel panic between validation and the balance
+		// update models resource-bookkeeping corruption.
+		k.Faults.MaybeCrash(crash.SiteResource, "")
 		acct.Release(resource.KernelHeap, n)
 		if ctx.Txn != nil {
 			ctx.Txn.PushUndo("kheap_free", func() {

@@ -22,8 +22,11 @@ package lock
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
+	"vino/internal/crash"
+	"vino/internal/fault"
 	"vino/internal/sched"
 	"vino/internal/simclock"
 	"vino/internal/trace"
@@ -151,9 +154,25 @@ type Manager struct {
 	HolderInTxn func(*sched.Thread) bool
 	// Trace, when set, records contention time-outs.
 	Trace *trace.Buffer
+	// Faults, when set, is consulted at the lock-release crash site.
+	// Nil-safe and free unless the injector's crash gate is armed.
+	Faults *fault.Injector
 
-	locks []*Lock // every lock ever created, for invariant audits
-	stats Stats
+	locks        []*Lock // every lock ever created, for invariant audits
+	stats        Stats
+	lastDeadlock []WaitEdge
+}
+
+// WaitEdge is one holder → waiter edge of a wait-for-graph snapshot:
+// Waiter is blocked on Lock, which Holder holds in a conflicting mode.
+type WaitEdge struct {
+	Holder string // holding thread's name
+	Waiter string // waiting thread's name
+	Lock   string // lock name
+}
+
+func (e WaitEdge) String() string {
+	return fmt.Sprintf("%s->%s on %s", e.Holder, e.Waiter, e.Lock)
 }
 
 // Stats counts lock-manager events for the experiment reports.
@@ -166,6 +185,11 @@ type Stats struct {
 	UpgradeWaits  int64
 	Releases      int64
 	DeadlockBreak int64 // timeouts fired while the waiter also held locks
+	// LastDeadlock is the wait-for-graph snapshot captured at the most
+	// recent DeadlockBreak: every holder → waiter edge in the manager
+	// at the instant the timeout fired, in deterministic (lock
+	// creation, queue position, holder order) order.
+	LastDeadlock []WaitEdge
 }
 
 // NewManager creates a lock manager over clock.
@@ -174,7 +198,48 @@ func NewManager(clock *simclock.Clock) *Manager {
 }
 
 // Stats returns a copy of the manager's counters.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	s.LastDeadlock = append([]WaitEdge(nil), m.lastDeadlock...)
+	return s
+}
+
+// waitForGraph snapshots every holder → waiter edge in the manager, in
+// deterministic order: locks in creation order, waiters in queue order,
+// holders in acquisition order. Only conflicting pairs form edges — a
+// reader waiting behind readers is not blocked by them.
+func (m *Manager) waitForGraph() []WaitEdge {
+	var edges []WaitEdge
+	for _, l := range m.locks {
+		for _, w := range l.waiters {
+			for _, ht := range l.order {
+				h := l.holders[ht]
+				if h == nil || ht == w.req.Thread {
+					continue
+				}
+				if h.mode != Exclusive && w.req.Mode != Exclusive {
+					continue
+				}
+				edges = append(edges, WaitEdge{Holder: ht.Name(), Waiter: w.req.Thread.Name(), Lock: l.name})
+			}
+		}
+	}
+	return edges
+}
+
+// recordDeadlock captures the forensic snapshot when a timeout fires on
+// a waiter that itself holds locks (a broken wait cycle) and emits a
+// deadlock trace event naming every edge.
+func (m *Manager) recordDeadlock(l *Lock) {
+	m.stats.DeadlockBreak++
+	m.lastDeadlock = m.waitForGraph()
+	parts := make([]string, len(m.lastDeadlock))
+	for i, e := range m.lastDeadlock {
+		parts[i] = e.String()
+	}
+	m.Trace.Emit(m.clock.Now(), trace.Deadlock, l.name,
+		fmt.Sprintf("wait-for: %s", strings.Join(parts, "; ")))
+}
 
 // Lock is one lockable resource instance.
 type Lock struct {
@@ -435,7 +500,7 @@ func (l *Lock) armTimeout(w *waiter) {
 		l.m.Trace.Emit(l.m.clock.Now(), trace.LockTimeout, l.name,
 			fmt.Sprintf("class %s after %v", l.class.Name, l.class.Timeout))
 		if len(w.lockedByWaiterLocks()) > 0 {
-			l.m.stats.DeadlockBreak++
+			l.m.recordDeadlock(l)
 		}
 		l.abortConflictingHolders(w)
 		// Re-arm: if no holder could be aborted (none in a transaction),
@@ -485,6 +550,11 @@ func (l *Lock) Release(t *sched.Thread) error {
 	if h == nil {
 		return fmt.Errorf("%w: %s by %s", ErrNotHeld, l.name, t.Name())
 	}
+	// Crash site: a panic here strikes after the hold is committed to
+	// being released but before any bookkeeping — the holder entry,
+	// wait queue and waiter timeouts are left exactly as they were, a
+	// wedged lock only checkpoint restore can clear.
+	l.m.Faults.MaybeCrash(crash.SiteLock, "")
 	l.m.stats.Releases++
 	if c := l.class.ReleaseCost; c > 0 && t.State() == sched.StateRunning && t.Scheduler().Current() == t {
 		t.Charge(c)
@@ -529,6 +599,47 @@ func (l *Lock) grantWaiters() {
 		}
 		l.addHolder(w.req.Thread, w.req.Mode)
 		w.req.Thread.Wake()
+	}
+}
+
+// lockSnap is the lock manager's checkpoint image. Holder and waiter
+// state is deliberately NOT captured: checkpoints are taken at
+// quiescent points where no simulated thread holds or waits on any
+// lock, and the threads themselves die in the crash anyway. What must
+// be restored is the lock *population* — locks created after the
+// checkpoint belong to objects (open files, address spaces) that the
+// restore discards.
+type lockSnap struct {
+	numLocks int
+}
+
+// CrashName implements crash.Snapshotter.
+func (m *Manager) CrashName() string { return "locks" }
+
+// CrashSnapshot implements crash.Snapshotter.
+func (m *Manager) CrashSnapshot() any {
+	return &lockSnap{numLocks: len(m.locks)}
+}
+
+// CrashRestore implements crash.Snapshotter: the lock table is trimmed
+// to the checkpoint's population and every hold and wait — all owned by
+// threads that died with the crash — is force-cleared, leak included.
+// Lifetime counters are kept: the crash happened and its cost is real.
+func (m *Manager) CrashRestore(snap any) {
+	s := snap.(*lockSnap)
+	if s.numLocks < len(m.locks) {
+		m.locks = m.locks[:s.numLocks]
+	}
+	for _, l := range m.locks {
+		l.holders = make(map[*sched.Thread]*hold)
+		l.order = nil
+		for _, w := range l.waiters {
+			if w.hasTO {
+				m.clock.Cancel(w.timeout)
+				w.hasTO = false
+			}
+		}
+		l.waiters = nil
 	}
 }
 

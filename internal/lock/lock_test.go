@@ -2,12 +2,14 @@ package lock
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"vino/internal/sched"
 	"vino/internal/simclock"
+	"vino/internal/trace"
 )
 
 var testClass = &Class{Name: "test", Timeout: 50 * time.Millisecond}
@@ -522,5 +524,69 @@ func BenchmarkAcquireReleasePolicyPath(b *testing.B) {
 	b.ResetTimer()
 	if err := s.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// TestDeadlockForensicsSnapshot: the break in TestDeadlockBrokenByTimeout
+// also captures a wait-for-graph snapshot — who held what, who waited on
+// whom — and emits it as a deadlock trace event, so a post-mortem can see
+// the cycle instead of just a timeout counter.
+func TestDeadlockForensicsSnapshot(t *testing.T) {
+	s, m := newEnv()
+	tr := trace.New(64)
+	m.Trace = tr
+	la := m.NewLock("A", &Class{Name: "fast", Timeout: 20 * time.Millisecond})
+	lb := m.NewLock("B", &Class{Name: "slow", Timeout: 60 * time.Millisecond})
+	inTxn := make(map[*sched.Thread]bool)
+	m.HolderInTxn = func(th *sched.Thread) bool { return inTxn[th] }
+	mk := func(name string, first, second *Lock) {
+		s.Spawn(name, func(th *sched.Thread) {
+			defer func() {
+				if _, ok := recover().(*sched.Abort); ok {
+					first.ReleaseAll(th)
+					second.ReleaseAll(th)
+				}
+			}()
+			inTxn[th] = true
+			first.Acquire(th, Exclusive)
+			th.Yield()
+			second.Acquire(th, Exclusive)
+			_ = second.Release(th)
+			_ = first.Release(th)
+		})
+	}
+	mk("t1", la, lb)
+	mk("t2", lb, la)
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := m.Stats()
+	if st.DeadlockBreak == 0 {
+		t.Fatal("deadlock break not recorded")
+	}
+	// The snapshot holds the full two-edge cycle in deterministic order:
+	// lock A was created first, so its edge leads.
+	want := []string{"t1->t2 on A", "t2->t1 on B"}
+	if len(st.LastDeadlock) != len(want) {
+		t.Fatalf("LastDeadlock = %v, want %v", st.LastDeadlock, want)
+	}
+	for i, e := range st.LastDeadlock {
+		if e.String() != want[i] {
+			t.Errorf("edge %d = %q, want %q", i, e, want[i])
+		}
+	}
+	// Stats() must copy the snapshot, not alias it.
+	st.LastDeadlock[0].Lock = "mutated"
+	if m.Stats().LastDeadlock[0].Lock != "A" {
+		t.Error("Stats() aliased the live LastDeadlock slice")
+	}
+	evs := tr.Filter(trace.Deadlock)
+	if len(evs) == 0 {
+		t.Fatal("no deadlock trace event")
+	}
+	for _, edge := range want {
+		if !strings.Contains(evs[0].Detail, edge) {
+			t.Errorf("deadlock trace %q missing edge %q", evs[0].Detail, edge)
+		}
 	}
 }

@@ -177,6 +177,43 @@ func (a *Account) Transfer(to *Account, kind Kind, n int64) error {
 	return nil
 }
 
+// AccountSnap is a deep copy of an account's balances, taken by the
+// crash checkpointer. The billing redirection is identity, not balance,
+// and is left alone by restores.
+type AccountSnap struct {
+	limit, used, high map[Kind]int64
+	denied            int64
+}
+
+func copyKinds(m map[Kind]int64) map[Kind]int64 {
+	out := make(map[Kind]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot deep-copies the account's limits, usage, high-water marks
+// and denial count.
+func (a *Account) Snapshot() *AccountSnap {
+	return &AccountSnap{
+		limit:  copyKinds(a.limit),
+		used:   copyKinds(a.used),
+		high:   copyKinds(a.high),
+		denied: a.denied,
+	}
+}
+
+// RestoreSnapshot replaces the account's balances with a snapshot's.
+// The snapshot is copied, not aliased: restoring from the same snapshot
+// repeatedly always yields the same state.
+func (a *Account) RestoreSnapshot(s *AccountSnap) {
+	a.limit = copyKinds(s.limit)
+	a.used = copyKinds(s.used)
+	a.high = copyKinds(s.high)
+	a.denied = s.denied
+}
+
 // Kinds returns the kinds with a nonzero limit or usage, sorted.
 func (a *Account) Kinds() []Kind {
 	seen := make(map[Kind]bool)

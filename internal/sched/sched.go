@@ -410,8 +410,14 @@ func (s *Scheduler) spawn(name string, cpu int, pinned bool, body func(*Thread))
 				if _, ok := r.(killSignal); !ok && t.s.threadPanic == nil {
 					// Re-panicking here would crash the whole process from
 					// a foreign goroutine with a confusing trace; instead
-					// record and deliver on the scheduler side.
-					t.s.threadPanic = fmt.Errorf("thread %q panicked: %v", t.name, r)
+					// record and deliver on the scheduler side. Error
+					// payloads are wrapped, not flattened, so the kernel
+					// boundary can recover typed panics with errors.As.
+					if err, isErr := r.(error); isErr {
+						t.s.threadPanic = fmt.Errorf("thread %q panicked: %w", t.name, err)
+					} else {
+						t.s.threadPanic = fmt.Errorf("thread %q panicked: %v", t.name, r)
+					}
 				}
 			}
 			t.state = StateDead
@@ -839,4 +845,34 @@ func (s *Scheduler) Shutdown() {
 		t.Kill()
 	}
 	_ = s.Run()
+}
+
+// TakePanic returns and clears the recorded thread panic. Crash
+// recovery must call it before Shutdown: Run returns immediately while
+// a panic is recorded, so a Shutdown with one still set would never
+// drain the surviving threads.
+func (s *Scheduler) TakePanic() error {
+	err := s.threadPanic
+	s.threadPanic = nil
+	return err
+}
+
+// CrashReset rewinds the scheduler to a restored virtual-time frontier
+// after crash recovery: run queues are cleared (their threads died in
+// the Shutdown) and every CPU's local clock rejoins the checkpoint
+// time. Lifetime counters (switches, busy/idle) are deliberately kept —
+// the crash happened; its cost is real.
+func (s *Scheduler) CrashReset(to time.Duration) {
+	if s.running {
+		panic("sched: CrashReset during Run")
+	}
+	if len(s.threads) != 0 {
+		panic("sched: CrashReset with live threads (Shutdown first)")
+	}
+	for _, c := range s.cpus {
+		c.runq = nil
+		c.now = to
+	}
+	s.threadPanic = nil
+	s.current = nil
 }

@@ -151,3 +151,31 @@ func TestPropertyRandomInstructionStreamsContained(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// FuzzDecode is the native-fuzzing form of the properties above: the
+// image decoders must never panic on arbitrary bytes, and anything they
+// accept must survive the verifier and signature layer. CI runs this
+// briefly (-fuzz FuzzDecode -fuzztime 30s); longer local runs grow the
+// corpus.
+func FuzzDecode(f *testing.F) {
+	valid := mustAssemble(f, `
+.name fuzzseed
+.func main
+main:
+    movi r0, 7
+    ret
+`)
+	f.Add(valid.Encode())
+	f.Add(valid.EncodeSigned())
+	f.Add([]byte{})
+	f.Add([]byte("VINO"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if img, err := Decode(data); err == nil {
+			_ = Verify(img)
+			_ = img.Encode() // re-encoding an accepted image must not panic
+		}
+		if img, err := DecodeSigned(data); err == nil {
+			_ = Verify(img)
+		}
+	})
+}

@@ -277,3 +277,21 @@ func (c *Clock) AdvanceToNext() bool {
 
 // Pending returns the number of scheduled events.
 func (c *Clock) Pending() int { return len(c.events) }
+
+// Reset discards every pending event and repositions the clock at t —
+// crash recovery's reboot: timers armed by threads that died with the
+// crash must not fire into the restored image. The id and sequence
+// counters are NOT reset, so stamps taken after a recovery still sort
+// after stamps taken before it (the global event order stays a total
+// order across the crash).
+func (c *Clock) Reset(t time.Duration) {
+	if t < 0 {
+		panic(fmt.Sprintf("simclock: negative time %v", t))
+	}
+	if c.firing != nil {
+		panic("simclock: Reset during event callback")
+	}
+	c.events = nil
+	c.byID = make(map[EventID]*event)
+	c.now = t
+}

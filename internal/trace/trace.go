@@ -36,6 +36,13 @@ const (
 	GraftQuarantine Kind = "graft-quarantine"
 	GraftProbation  Kind = "graft-probation"
 	GraftExpel      Kind = "graft-expel"
+	// Crash containment: a classified panic caught at the kernel
+	// boundary, a checkpoint of kernel state, a completed restore, and
+	// a wait-for-graph snapshot taken when a deadlock is broken.
+	KernelPanic Kind = "kernel-panic"
+	Checkpoint  Kind = "checkpoint"
+	Recovery    Kind = "recovery"
+	Deadlock    Kind = "deadlock"
 )
 
 // Event is one recorded occurrence.

@@ -3,6 +3,7 @@ package txn
 import (
 	"errors"
 
+	"vino/internal/crash"
 	"vino/internal/lock"
 	"vino/internal/resource"
 	"vino/internal/sfi"
@@ -30,6 +31,10 @@ const (
 	CauseSFITrap
 	// CauseUndo marks an abort during which an undo handler panicked.
 	CauseUndo
+	// CauseCrash is a contained kernel panic attributed to the graft
+	// whose dispatch was active when it struck: crash recovery feeds
+	// one abort of this cause into the health ledger per recovery.
+	CauseCrash
 )
 
 func (c AbortCause) String() string {
@@ -46,14 +51,21 @@ func (c AbortCause) String() string {
 		return "sfi-trap"
 	case CauseUndo:
 		return "undo"
+	case CauseCrash:
+		return "crash"
 	}
 	return "cause(?)"
 }
 
 // Causes lists every bucket in canonical rendering order.
 func Causes() []AbortCause {
-	return []AbortCause{CauseWatchdog, CauseLockTimeout, CauseResourceLimit, CauseSFITrap, CauseUndo, CauseOther}
+	return []AbortCause{CauseWatchdog, CauseLockTimeout, CauseResourceLimit, CauseSFITrap, CauseUndo, CauseCrash, CauseOther}
 }
+
+// ClassifyPanicCause maps a classified kernel panic onto the cause fed
+// into the guard health ledger. Every class maps to CauseCrash today;
+// the indirection keeps the taxonomy mapping in one place.
+func ClassifyPanicCause(class crash.Class) AbortCause { return CauseCrash }
 
 // ClassifyAbort maps an abort reason (typically the *AbortedError
 // returned by Run, or its unwrapped Reason) onto a cause bucket by

@@ -41,6 +41,7 @@ func TestCauseStringsAndOrder(t *testing.T) {
 		CauseResourceLimit: "resource-limit",
 		CauseSFITrap:       "sfi-trap",
 		CauseUndo:          "undo",
+		CauseCrash:         "crash",
 	}
 	for c, s := range want {
 		if c.String() != s {

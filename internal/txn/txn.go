@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"time"
 
+	"vino/internal/crash"
+	"vino/internal/fault"
 	"vino/internal/lock"
 	"vino/internal/sched"
 )
@@ -123,9 +125,22 @@ func ZeroCosts() Costs { return Costs{} }
 
 // Manager is the default VINO transaction manager. One per kernel.
 type Manager struct {
-	Costs     Costs
+	Costs Costs
+	// Faults, when set, is consulted at the crash sites inside commit,
+	// abort and undo processing — the escape routes §6 admits the
+	// transaction system cannot itself survive. All consultations are
+	// nil-safe and free unless the injector's crash gate is armed.
+	Faults    *fault.Injector
 	stats     Stats
 	lastAbort time.Duration
+}
+
+// crashPoint consults the crash plane at one transaction-processing
+// site. A due Panic rule escapes by panic; the transaction is left
+// corrupted mid-operation on purpose — containment and repair are the
+// kernel recovery path's job, not this package's.
+func (m *Manager) crashPoint(site crash.Site) {
+	m.Faults.MaybeCrash(site, "")
 }
 
 // LastAbortDuration returns the virtual time consumed by the most
@@ -142,6 +157,30 @@ func NewManager() *Manager {
 
 // Stats returns a copy of the manager's counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// txnSnap is the manager's checkpointable state. Live transactions are
+// thread-local and die with their threads at a crash; the counters are
+// restored so the books stay balanced — a transaction destroyed by a
+// contained panic neither committed nor aborted, and rewinding Begins
+// with the rest of the kernel keeps Begins == Commits+Aborts at every
+// quiescent point.
+type txnSnap struct {
+	stats     Stats
+	lastAbort time.Duration
+}
+
+// CrashName implements crash.Snapshotter.
+func (m *Manager) CrashName() string { return "txns" }
+
+// CrashSnapshot implements crash.Snapshotter.
+func (m *Manager) CrashSnapshot() any { return &txnSnap{stats: m.stats, lastAbort: m.lastAbort} }
+
+// CrashRestore implements crash.Snapshotter.
+func (m *Manager) CrashRestore(snap any) {
+	s := snap.(*txnSnap)
+	m.stats = s.stats
+	m.lastAbort = s.lastAbort
+}
 
 const localKey = "txn.current"
 
@@ -267,6 +306,7 @@ func (tx *Txn) mustBeCurrentInnermost(op string) {
 func (tx *Txn) Commit() {
 	tx.mustBeCurrentInnermost("Commit")
 	tx.thread.CheckAbort() // may panic; wrapper will call Abort
+	tx.m.crashPoint(crash.SiteCommit)
 	if c := tx.m.Costs.Commit; c > 0 {
 		tx.thread.Charge(c)
 	}
@@ -303,6 +343,10 @@ func (tx *Txn) Commit() {
 // re-panic after cleanup so thread destruction keeps working.
 func (tx *Txn) Abort() {
 	tx.mustBeCurrentInnermost("Abort")
+	// A crash here — before the deferred lock release is even armed —
+	// is the worst case: the aborting transaction's locks stay held and
+	// its undo stack never runs.
+	tx.m.crashPoint(crash.SiteAbort)
 	t := tx.thread
 	t.PushNoAbort()
 	start := t.Scheduler().Clock().Now()
@@ -322,6 +366,10 @@ func (tx *Txn) Abort() {
 	var rekill any
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		tx.m.stats.UndosRun++
+		// Crash-during-recovery: a fault striking between undo records
+		// leaves the stack partially unwound. Deferred lock release
+		// still runs on the way out; the lost undos are the corruption.
+		tx.m.crashPoint(crash.SiteUndo)
 		if r := tx.runUndo(tx.undo[i]); r != nil {
 			rekill = r
 			break
@@ -335,14 +383,19 @@ func (tx *Txn) Abort() {
 }
 
 // runUndo executes one undo record, absorbing any panic it raises. A
-// scheduler kill signal is returned (non-nil) so Abort can re-panic it
-// after releasing locks; every other panic is counted and swallowed —
-// a broken undo handler must not stop the rest of the stack from
-// unwinding.
+// scheduler kill signal — or a classified kernel panic, which must
+// escape abort processing so the crash-containment boundary sees it —
+// is returned (non-nil) so Abort can re-panic it after releasing
+// locks; every other panic is counted and swallowed — a broken undo
+// handler must not stop the rest of the stack from unwinding.
 func (tx *Txn) runUndo(u Undo) (kill any) {
 	defer func() {
 		if r := recover(); r != nil {
 			if sched.IsKill(r) {
+				kill = r
+				return
+			}
+			if _, ok := crash.IsPanic(r); ok {
 				kill = r
 				return
 			}
@@ -408,9 +461,14 @@ func (m *Manager) Run(t *sched.Thread, fn func(tx *Txn) error) (err error) {
 
 // panicReason classifies a recovered panic value: asynchronous aborts and
 // graft panics of any type become abort reasons; the scheduler's kill
-// signal returns nil and must be re-panicked.
+// signal and classified kernel panics return nil and must be re-panicked
+// — a crash is not an abort reason, it is the containment boundary's
+// problem.
 func panicReason(r any) error {
 	if sched.IsKill(r) {
+		return nil
+	}
+	if _, ok := crash.IsPanic(r); ok {
 		return nil
 	}
 	switch v := r.(type) {

@@ -88,6 +88,9 @@ func New(k *kernel.Kernel, frames int) *VMM {
 		globalQueue:      list.New(),
 		spaces:           make(map[int]*VAS),
 	}
+	if k.Crash != nil {
+		k.Crash.Register(v)
+	}
 	return v
 }
 
