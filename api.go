@@ -109,6 +109,27 @@ func WithCheckpoints(every time.Duration) Option {
 	return func(c *Config) { c.CheckpointEvery = every }
 }
 
+// WithCheckpointRing keeps a ring of the n most recent checkpoints
+// instead of only the latest (default 1). Recovery from a panic whose
+// corruption predates the newest checkpoint (KernelPanic.TaintedAt)
+// rolls back to the newest checkpoint taken before the taint; ring
+// eviction folds the oldest delta into the base, so memory stays
+// bounded by n plus the delta chain.
+func WithCheckpointRing(n int) Option {
+	return func(c *Config) { c.CheckpointRing = n }
+}
+
+// WithFullCopyCheckpoints disables incremental (copy-on-write delta)
+// capture and deep-copies the whole kernel state at every checkpoint,
+// the pre-delta behaviour. Capture cost becomes O(kernel state) rather
+// than O(state dirtied since the last checkpoint); traces and recovery
+// results are byte-identical between the two modes. Useful as an A/B
+// baseline for the checkpoint-cost sweep and for distrusting the dirty
+// tracking.
+func WithFullCopyCheckpoints() Option {
+	return func(c *Config) { c.CheckpointFullCopy = true }
+}
+
 // -----------------------------------------------------------------------------
 // Toolchain: the trusted graft build pipeline as a value.
 // -----------------------------------------------------------------------------
@@ -304,6 +325,8 @@ const (
 	CrashSiteUndo     = crash.SiteUndo
 	CrashSiteLock     = crash.SiteLock
 	CrashSiteResource = crash.SiteResource
+	CrashSitePager    = crash.SitePager
+	CrashSiteAccept   = crash.SiteAccept
 )
 
 // CrashSites returns every crash site in canonical order.

@@ -11,6 +11,7 @@
 //	vinobench -sweep eviction
 //	vinobench -sweep smp      # multi-CPU throughput scaling
 //	vinobench -sweep smp -ncpu 8   # sweep 1,2,4,8 simulated CPUs
+//	vinobench -sweep checkpoint    # incremental vs full-copy capture cost
 //	vinobench -ablation lock  # Figures 4/5 policy-encapsulation cost
 //	vinobench -ablation sfidensity
 //	vinobench -check          # semantic cross-checks (SFI-rewrite equivalence)
@@ -27,7 +28,7 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	table := flag.Int("table", 0, "reproduce one paper table (3-7)")
-	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp")
+	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint")
 	ablation := flag.String("ablation", "", "design-choice ablation: lock | sfidensity | misfitopt | txn")
 	check := flag.Bool("check", false, "run semantic cross-checks")
 	ncpu := flag.Int("ncpu", 4, "smp sweep: largest simulated CPU count (sweeps powers of two up to it)")
@@ -126,6 +127,12 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(s)
+		case "checkpoint":
+			pts, err := harness.CheckpointCostSweep(nil, nil)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(harness.FormatCheckpointCostSweep(pts))
 		default:
 			fail(fmt.Errorf("unknown sweep %q", name))
 		}
@@ -185,6 +192,7 @@ func main() {
 		runSweep("eviction")
 		runSweep("timeout")
 		runSweep("smp")
+		runSweep("checkpoint")
 		runAblation("lock")
 		runAblation("sfidensity")
 		runAblation("misfitopt")

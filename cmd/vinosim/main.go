@@ -16,6 +16,10 @@
 //	vinosim -chaos -seed=7 -writeplan=p.txt  # save the derived plan
 //	vinosim -chaos -faultfile=p.txt          # replay a saved/edited plan
 //	vinosim -chaos -seed=7 -crash            # + crash phase: panics contained & recovered
+//	vinosim -chaos -seed=7 -crash -checkpoint-ring=3
+//	                                         # keep 3 checkpoints; recovery rolls past taint
+//	vinosim -chaos -seed=7 -crash -checkpoint-full
+//	                                         # full-copy captures (A/B vs incremental)
 //	vinosim -chaos -seed=7 -crash -norecover # first panic is fatal (reproducer mode)
 //	vinosim -chaos -seed=7 -crash -norecover -minimize=min.txt
 //	                                         # delta-debug the plan to a minimal reproducer
@@ -67,6 +71,8 @@ func main() {
 	varyInstalls := flag.Bool("varyinstalls", false, "chaos: randomize graft install options (watchdogs, transfers, handler order) from the seed")
 	crashFlag := flag.Bool("crash", false, "chaos: arm the crash phase (injected kernel panics, checkpoint/restore recovery)")
 	checkpoint := flag.Duration("checkpoint", 20*time.Millisecond, "chaos: checkpoint cadence in virtual time (with -crash)")
+	checkpointRing := flag.Int("checkpoint-ring", 0, "chaos: keep a ring of the N newest checkpoints (0 = latest only); recovery picks the newest checkpoint predating the panic's taint")
+	checkpointFull := flag.Bool("checkpoint-full", false, "chaos: full-copy checkpoints instead of incremental deltas (A/B baseline; identical traces, O(state) capture cost)")
 	norecover := flag.Bool("norecover", false, "chaos: disable recovery — the first injected panic is fatal and reported (implies -crash)")
 	minimize := flag.String("minimize", "", "chaos: delta-debug the failing run's fault plan and write the minimal -faultfile reproducer here")
 	flag.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after each scenario or chaos run")
@@ -87,6 +93,8 @@ func main() {
 			varyInstalls:   *varyInstalls,
 			crash:          *crashFlag || *norecover,
 			checkpoint:     *checkpoint,
+			checkpointRing: *checkpointRing,
+			checkpointFull: *checkpointFull,
 			norecover:      *norecover,
 			minimize:       *minimize,
 		}
@@ -142,6 +150,8 @@ type chaosOptions struct {
 	varyInstalls   bool
 	crash          bool
 	checkpoint     time.Duration
+	checkpointRing int
+	checkpointFull bool
 	norecover      bool
 	minimize       string
 }
@@ -156,14 +166,16 @@ func runChaos(opt chaosOptions) error {
 		return err
 	}
 	cfg := vino.ChaosConfig{
-		Seed:            opt.seed,
-		Classes:         classes,
-		NCPU:            opt.ncpu,
-		Extended:        opt.extended,
-		VaryInstalls:    opt.varyInstalls,
-		Crash:           opt.crash,
-		CheckpointEvery: opt.checkpoint,
-		NoRecover:       opt.norecover,
+		Seed:               opt.seed,
+		Classes:            classes,
+		NCPU:               opt.ncpu,
+		Extended:           opt.extended,
+		VaryInstalls:       opt.varyInstalls,
+		Crash:              opt.crash,
+		CheckpointEvery:    opt.checkpoint,
+		CheckpointRing:     opt.checkpointRing,
+		CheckpointFullCopy: opt.checkpointFull,
+		NoRecover:          opt.norecover,
 	}
 	if opt.guard {
 		pol := vino.DefaultGuardPolicy()

@@ -5,7 +5,7 @@
 // closes that hole for the simulated kernel: panics are classified at
 // the dispatcher boundary instead of crashing the process, kernel state
 // is checkpointed at a configurable virtual-time cadence, and recovery
-// restores the last checkpoint and resumes at its time frontier.
+// restores a checkpoint and resumes at its time frontier.
 //
 // The package owns only the taxonomy and the checkpoint store; the
 // recovery orchestration (drain threads, restore snapshots, feed the
@@ -13,6 +13,15 @@
 // subsystems. Everything here is deterministic: checkpoints are taken
 // at quiescent points in virtual time, snapshots are deep copies of
 // simulation state, and no wall-clock or randomness is consulted.
+//
+// Checkpoints are incremental by default. The store is a bounded ring
+// of entries forming one chain: the oldest entry holds full per-
+// subsystem snapshots (the base) and each later entry holds only the
+// state changed since its predecessor, as reported by subsystems that
+// implement DeltaSnapshotter. Chains are consolidated — deltas folded
+// into the base — on restore, on ring eviction, and past a length
+// threshold, so both checkpoint capture and repeated restores cost
+// O(state changed) rather than O(total kernel state).
 package crash
 
 import (
@@ -77,12 +86,21 @@ const (
 	SiteLock Site = "lock"
 	// SiteResource crashes inside resource-account release processing.
 	SiteResource Site = "resource"
+	// SitePager crashes inside the pager mid-eviction: the victim is
+	// chosen and any write-back accounted, but its frame has not been
+	// released — restore runs against in-flight page-out state.
+	SitePager Site = "pager"
+	// SiteAccept crashes in the network stack mid-accept: the
+	// connection object exists and churn faults have run, but the
+	// accept graft has not yet been consulted.
+	SiteAccept Site = "accept"
 )
 
 // Sites returns every crash site in canonical order. The order is
-// frozen: fault plans index it when deriving per-site rules.
+// frozen: fault plans index it. New sites are appended, never
+// reordered.
 func Sites() []Site {
-	return []Site{SiteDispatch, SiteCommit, SiteAbort, SiteUndo, SiteLock, SiteResource}
+	return []Site{SiteDispatch, SiteCommit, SiteAbort, SiteUndo, SiteLock, SiteResource, SitePager, SiteAccept}
 }
 
 // SiteClass maps a crash site to the panic class a crash there
@@ -97,7 +115,9 @@ func SiteClass(s Site) Class {
 		return UndoEscape
 	case SiteLock:
 		return LockInvariant
-	case SiteResource:
+	case SitePager, SiteResource:
+		// A pager crash strikes inside frame accounting: the victim's
+		// residency, queue linkage and account charge are mid-update.
 		return ResourceInvariant
 	default:
 		return SFIBreach
@@ -130,6 +150,11 @@ type Panic struct {
 	Graft string
 	// Reason is the human-readable cause.
 	Reason string
+	// TaintedAt, when non-zero, is the virtual time at which the
+	// damage is believed to have begun (delayed detection): recovery
+	// restores the newest checkpoint predating it rather than the
+	// newest checkpoint overall. Zero means detection was immediate.
+	TaintedAt time.Duration
 }
 
 // Error implements error.
@@ -174,6 +199,34 @@ type Snapshotter interface {
 	CrashRestore(snap any)
 }
 
+// DeltaSnapshotter is the incremental extension of Snapshotter. The
+// Manager issues generation numbers: every checkpoint capture is
+// stamped with the generation current at capture time (see Gen), and
+// subsystems stamp their mutations with Gen() so a later CrashDelta can
+// report exactly the state touched since a previous capture.
+//
+// The contract mirrors CrashSnapshot's: deltas are deep copies taken at
+// quiescent points. Over-reporting (including an unchanged item at its
+// current value) is harmless; under-reporting corrupts restores.
+type DeltaSnapshotter interface {
+	Snapshotter
+	// CrashDelta deep-copies the state modified in generations strictly
+	// after sinceGen (i.e. items whose modification stamp exceeds
+	// sinceGen, plus anything too cheap or too volatile to track
+	// per-item). A nil return reports "nothing changed" and the
+	// Manager keeps the predecessor's image for this subsystem.
+	CrashDelta(sinceGen uint64) any
+	// CrashMerge folds delta (a CrashDelta result) into base (a
+	// CrashSnapshot result or prior merge), returning a full snapshot
+	// equivalent to a CrashSnapshot taken at the delta's generation.
+	// base may be mutated and returned; delta must be left usable by
+	// the merged result (its internals may be adopted, not copied).
+	// A nil base converts the delta of a subsystem registered after
+	// the base checkpoint — whose delta therefore covers its whole
+	// lifetime — into a full snapshot.
+	CrashMerge(base, delta any) any
+}
+
 // Stats counts containment events.
 type Stats struct {
 	// Checkpoints taken.
@@ -183,37 +236,63 @@ type Stats struct {
 	// Recoveries completed (always ≤ Panics; a panic with no
 	// checkpoint available is fatal and not recovered).
 	Recoveries int64
+	// Consolidations counts delta-chain folds (ring eviction, chain
+	// threshold, and restore-time consolidation).
+	Consolidations int64
 	// ByClass buckets contained panics by taxonomy class.
 	ByClass map[Class]int64
 }
 
-// checkpoint is one captured kernel image.
+// checkpoint is one entry of the checkpoint ring. The oldest entry
+// holds full per-subsystem snapshots; later entries hold per-subsystem
+// deltas since their predecessor (delta=true), except that subsystems
+// without delta support store a fresh full copy in every entry.
 type checkpoint struct {
-	seq  int64
-	at   time.Duration
-	snap []any // parallel to Manager.subs
+	seq   int64
+	gen   uint64
+	at    time.Duration
+	snap  []any // parallel to Manager.subs at capture time
+	delta bool
 }
 
+// DefaultMaxChain bounds the number of delta entries chained onto a
+// base before the oldest delta is folded in, independent of ring size.
+const DefaultMaxChain = 8
+
 // Manager owns the checkpoint store: registered subsystem snapshotters,
-// the cadence, and the most recent image. It is passive — the kernel
+// the cadence, and the checkpoint ring. It is passive — the kernel
 // decides when CheckpointIfDue and Restore run (only at quiescent
 // points between scheduler rounds; goroutine stacks cannot be
 // snapshotted, so a checkpoint never captures a mid-flight thread).
 type Manager struct {
-	clock *simclock.Clock
-	tr    *trace.Buffer
-	every time.Duration
-	subs  []Snapshotter
-	last  *checkpoint
-	seq   int64
-	stats Stats
+	clock       *simclock.Clock
+	tr          *trace.Buffer
+	every       time.Duration
+	subs        []Snapshotter
+	entries     []*checkpoint // entries[0] is the full base; invariant: !entries[0].delta
+	ring        int
+	maxChain    int
+	incremental bool
+	seq         int64
+	gen         uint64
+	stats       Stats
 }
 
 // NewManager creates a checkpoint manager with the given cadence. A
 // zero or negative cadence disables due-based checkpointing (explicit
-// TakeCheckpoint calls still work).
+// TakeCheckpoint calls still work). The manager starts in incremental
+// mode with a ring of one.
 func NewManager(clock *simclock.Clock, tr *trace.Buffer, every time.Duration) *Manager {
-	return &Manager{clock: clock, tr: tr, every: every, stats: Stats{ByClass: make(map[Class]int64)}}
+	return &Manager{
+		clock:       clock,
+		tr:          tr,
+		every:       every,
+		ring:        1,
+		maxChain:    DefaultMaxChain,
+		incremental: true,
+		gen:         1,
+		stats:       Stats{ByClass: make(map[Class]int64)},
+	}
 }
 
 // Register adds a subsystem to the checkpoint set. Registration order
@@ -223,32 +302,140 @@ func (m *Manager) Register(s Snapshotter) { m.subs = append(m.subs, s) }
 // Every returns the configured cadence.
 func (m *Manager) Every() time.Duration { return m.every }
 
+// SetRing bounds the checkpoint ring at n entries (restore targets);
+// values below one are clamped to one.
+func (m *Manager) SetRing(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.ring = n
+	m.trim()
+}
+
+// Ring returns the configured ring size.
+func (m *Manager) Ring() int { return m.ring }
+
+// SetIncremental switches between incremental (base + delta chain) and
+// full-copy capture. Restored state is byte-identical either way; only
+// the capture cost differs.
+func (m *Manager) SetIncremental(on bool) { m.incremental = on }
+
+// Incremental reports whether captures are incremental.
+func (m *Manager) Incremental() bool { return m.incremental }
+
+// SetMaxChain sets the delta-chain length threshold; values below one
+// are clamped to one.
+func (m *Manager) SetMaxChain(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.maxChain = n
+	m.trim()
+}
+
+// Gen returns the current generation. Subsystems stamp mutations with
+// it; a capture records the generation current at capture time and the
+// generation then advances, so "modified at a stamp greater than a
+// capture's generation" means "modified after that capture".
+func (m *Manager) Gen() uint64 { return m.gen }
+
+// Checkpoints reports the current number of ring entries.
+func (m *Manager) Checkpoints() int { return len(m.entries) }
+
 // CheckpointDue reports whether the cadence has elapsed since the last
 // checkpoint (or since time zero if none has been taken).
 func (m *Manager) CheckpointDue() bool {
 	if m.every <= 0 {
 		return false
 	}
-	if m.last == nil {
+	if len(m.entries) == 0 {
 		return true
 	}
-	return m.clock.Now()-m.last.at >= m.every
+	return m.clock.Now()-m.entries[len(m.entries)-1].at >= m.every
 }
 
 // TakeCheckpoint captures a new kernel image at the current virtual
-// time, replacing the previous one, and emits a checkpoint trace event.
+// time and appends it to the ring, evicting (folding) the oldest entry
+// when the ring or chain bound is exceeded, and emits a checkpoint
+// trace event. In incremental mode the capture asks each subsystem
+// only for state changed since the previous entry's generation.
 func (m *Manager) TakeCheckpoint() {
 	m.seq++
-	cp := &checkpoint{seq: m.seq, at: m.clock.Now(), snap: make([]any, len(m.subs))}
-	for i, s := range m.subs {
-		cp.snap[i] = s.CrashSnapshot()
+	cp := &checkpoint{seq: m.seq, gen: m.gen, at: m.clock.Now(), snap: make([]any, len(m.subs))}
+	var prev *checkpoint
+	if len(m.entries) > 0 {
+		prev = m.entries[len(m.entries)-1]
 	}
-	m.last = cp
+	// A subsystem registered after the previous entry leaves the snap
+	// arrays unaligned; fall back to a full capture for that entry.
+	if m.incremental && prev != nil && len(prev.snap) == len(m.subs) {
+		cp.delta = true
+		for i, s := range m.subs {
+			if d, ok := s.(DeltaSnapshotter); ok {
+				cp.snap[i] = d.CrashDelta(prev.gen)
+			} else {
+				cp.snap[i] = s.CrashSnapshot()
+			}
+		}
+	} else {
+		for i, s := range m.subs {
+			cp.snap[i] = s.CrashSnapshot()
+		}
+	}
+	m.gen++
+	m.entries = append(m.entries, cp)
+	m.trim()
 	m.stats.Checkpoints++
 	if m.tr != nil {
 		m.tr.Emit(cp.at, trace.Checkpoint, "kernel",
 			fmt.Sprintf("checkpoint %d (%d subsystems)", cp.seq, len(m.subs)))
 	}
+}
+
+// trim folds the oldest entries until the ring and chain bounds hold.
+func (m *Manager) trim() {
+	limit := m.ring
+	if limit > m.maxChain+1 {
+		limit = m.maxChain + 1
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	for len(m.entries) > limit {
+		m.foldOldest()
+	}
+}
+
+// foldOldest consolidates the base entry into its successor, which
+// becomes the new base. Cost is O(successor's delta), not O(base):
+// merges adopt the base's structures and graft the delta on.
+func (m *Manager) foldOldest() {
+	base, next := m.entries[0], m.entries[1]
+	if next.delta {
+		merged := make([]any, len(next.snap))
+		for i, s := range m.subs {
+			if i >= len(next.snap) {
+				break
+			}
+			var bs any
+			if i < len(base.snap) {
+				bs = base.snap[i]
+			}
+			if d, ok := s.(DeltaSnapshotter); ok {
+				if next.snap[i] == nil {
+					merged[i] = bs
+				} else {
+					merged[i] = d.CrashMerge(bs, next.snap[i])
+				}
+			} else {
+				merged[i] = next.snap[i]
+			}
+		}
+		next.snap = merged
+		next.delta = false
+		m.stats.Consolidations++
+	}
+	m.entries = m.entries[1:]
 }
 
 // CheckpointIfDue takes a checkpoint when the cadence has elapsed.
@@ -262,28 +449,65 @@ func (m *Manager) CheckpointIfDue() bool {
 }
 
 // HasCheckpoint reports whether a restore target exists.
-func (m *Manager) HasCheckpoint() bool { return m.last != nil }
+func (m *Manager) HasCheckpoint() bool { return len(m.entries) > 0 }
 
-// CheckpointTime returns the virtual time of the last checkpoint.
+// CheckpointTime returns the virtual time of the newest checkpoint.
 func (m *Manager) CheckpointTime() (time.Duration, bool) {
-	if m.last == nil {
+	if len(m.entries) == 0 {
 		return 0, false
 	}
-	return m.last.at, true
+	return m.entries[len(m.entries)-1].at, true
 }
 
-// Restore replays the last checkpoint into every registered subsystem,
-// in registration order, and returns its virtual time. The caller (the
-// kernel) is responsible for draining dead threads first and resetting
-// clocks after.
+// Restore replays the newest checkpoint into every registered
+// subsystem, in registration order, and returns its virtual time. The
+// caller (the kernel) is responsible for draining dead threads first
+// and resetting clocks after.
 func (m *Manager) Restore() (time.Duration, bool) {
-	if m.last == nil {
+	return m.restoreIndex(len(m.entries) - 1)
+}
+
+// RestoreBefore replays the newest checkpoint whose virtual time
+// strictly predates cutoff — the delayed-detection case, where damage
+// is believed to have begun at cutoff and the newest image may already
+// be tainted. When every entry is at or after the cutoff the oldest
+// entry is restored (the best available rewind). Entries newer than
+// the restored one are discarded: their images postdate the taint.
+func (m *Manager) RestoreBefore(cutoff time.Duration) (time.Duration, bool) {
+	idx := 0
+	for i, cp := range m.entries {
+		if cp.at < cutoff {
+			idx = i
+		}
+	}
+	return m.restoreIndex(idx)
+}
+
+// restoreIndex consolidates entries[0..k] into a single full image,
+// drops newer entries, and applies it. The consolidated entry remains
+// in the ring: restore does not consume the checkpoint, so repeated
+// restores from one window replay the same image, and the next
+// incremental capture chains onto it.
+func (m *Manager) restoreIndex(k int) (time.Duration, bool) {
+	if k < 0 || len(m.entries) == 0 {
 		return 0, false
 	}
-	for i, s := range m.subs {
-		s.CrashRestore(m.last.snap[i])
+	m.entries = m.entries[:k+1]
+	for len(m.entries) > 1 {
+		m.foldOldest()
 	}
-	return m.last.at, true
+	cp := m.entries[0]
+	if cp.delta {
+		// Unreachable (entries[0] is always a full base), kept as a
+		// guard against a corrupted ring.
+		panic("crash: restore target is an unconsolidated delta")
+	}
+	for i, s := range m.subs {
+		if i < len(cp.snap) {
+			s.CrashRestore(cp.snap[i])
+		}
+	}
+	return cp.at, true
 }
 
 // RecordPanic accounts one contained panic.

@@ -17,6 +17,8 @@ func TestSiteClassMapping(t *testing.T) {
 		SiteUndo:     UndoEscape,
 		SiteLock:     LockInvariant,
 		SiteResource: ResourceInvariant,
+		SitePager:    ResourceInvariant,
+		SiteAccept:   SFIBreach,
 	}
 	if len(Sites()) != len(want) {
 		t.Fatalf("Sites() has %d entries, want %d", len(Sites()), len(want))
@@ -131,6 +133,272 @@ func TestManagerCadence(t *testing.T) {
 	off.TakeCheckpoint()
 	if !off.HasCheckpoint() {
 		t.Fatal("explicit checkpoint ignored")
+	}
+}
+
+// deltaSub is a DeltaSnapshotter over a keyed int store with per-key
+// generation stamps, counting full vs delta captures.
+type deltaSub struct {
+	name   string
+	gen    func() uint64
+	vals   map[int]int
+	stamp  map[int]uint64
+	fulls  int
+	deltas int
+}
+
+func newDeltaSub(name string, gen func() uint64) *deltaSub {
+	return &deltaSub{name: name, gen: gen, vals: map[int]int{}, stamp: map[int]uint64{}}
+}
+
+func (f *deltaSub) set(k, v int) {
+	f.vals[k] = v
+	f.stamp[k] = f.gen()
+}
+
+func (f *deltaSub) CrashName() string { return f.name }
+
+func (f *deltaSub) CrashSnapshot() any {
+	f.fulls++
+	s := make(map[int]int, len(f.vals))
+	for k, v := range f.vals {
+		s[k] = v
+	}
+	return s
+}
+
+func (f *deltaSub) CrashDelta(since uint64) any {
+	f.deltas++
+	d := make(map[int]int)
+	for k, v := range f.vals {
+		if f.stamp[k] > since {
+			d[k] = v
+		}
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+func (f *deltaSub) CrashMerge(base, delta any) any {
+	d := delta.(map[int]int)
+	if base == nil {
+		return d
+	}
+	b := base.(map[int]int)
+	for k, v := range d {
+		b[k] = v
+	}
+	return b
+}
+
+func (f *deltaSub) CrashRestore(snap any) {
+	s := snap.(map[int]int)
+	f.vals = make(map[int]int, len(s))
+	for k, v := range s {
+		f.vals[k] = v
+	}
+	f.stamp = map[int]uint64{}
+}
+
+func TestIncrementalDeltaCapture(t *testing.T) {
+	clock := simclock.New(0)
+	m := NewManager(clock, nil, time.Millisecond)
+	f := newDeltaSub("d", m.Gen)
+	m.Register(f)
+
+	f.set(1, 10)
+	f.set(2, 20)
+	m.TakeCheckpoint() // base: full capture
+	if f.fulls != 1 || f.deltas != 0 {
+		t.Fatalf("base capture: fulls=%d deltas=%d", f.fulls, f.deltas)
+	}
+
+	f.set(2, 22)
+	clock.Advance(time.Millisecond)
+	m.TakeCheckpoint() // delta capture: only key 2
+	if f.deltas != 1 {
+		t.Fatalf("delta capture: deltas=%d", f.deltas)
+	}
+
+	// Mutate past the checkpoint, restore, and check both keys.
+	f.set(1, 99)
+	f.set(3, 30)
+	if at, ok := m.Restore(); !ok || at != time.Millisecond {
+		t.Fatalf("Restore = %v, %v", at, ok)
+	}
+	if f.vals[1] != 10 || f.vals[2] != 22 || len(f.vals) != 2 {
+		t.Fatalf("restored vals = %v", f.vals)
+	}
+
+	// Restore again from the same consolidated entry: not consumed.
+	f.set(1, 77)
+	m.Restore()
+	if f.vals[1] != 10 || f.vals[2] != 22 {
+		t.Fatalf("second restore gave %v", f.vals)
+	}
+
+	// Post-restore writes chain incrementally onto the consolidated
+	// base: a nil delta for an untouched sub keeps the base image.
+	f.set(3, 33)
+	clock.Advance(time.Millisecond)
+	m.TakeCheckpoint()
+	m.Restore()
+	if f.vals[1] != 10 || f.vals[2] != 22 || f.vals[3] != 33 {
+		t.Fatalf("post-restore chain restored %v", f.vals)
+	}
+}
+
+func TestNilDeltaKeepsPredecessorImage(t *testing.T) {
+	clock := simclock.New(0)
+	m := NewManager(clock, nil, time.Millisecond)
+	f := newDeltaSub("d", m.Gen)
+	m.Register(f)
+
+	f.set(1, 1)
+	m.TakeCheckpoint()
+	clock.Advance(time.Millisecond)
+	m.TakeCheckpoint() // nothing changed: delta is nil
+	f.set(1, 5)
+	if at, _ := m.Restore(); at != time.Millisecond {
+		t.Fatalf("restored at %v", at)
+	}
+	if f.vals[1] != 1 {
+		t.Fatalf("nil-delta restore gave %v", f.vals)
+	}
+}
+
+func TestRingRotationAndConsolidation(t *testing.T) {
+	clock := simclock.New(0)
+	m := NewManager(clock, nil, time.Millisecond)
+	m.SetRing(3)
+	f := newDeltaSub("d", m.Gen)
+	m.Register(f)
+
+	for i := 1; i <= 5; i++ {
+		f.set(i, i*10)
+		m.TakeCheckpoint()
+		clock.Advance(time.Millisecond)
+	}
+	if m.Checkpoints() != 3 {
+		t.Fatalf("ring holds %d entries, want 3", m.Checkpoints())
+	}
+	if m.Stats().Consolidations == 0 {
+		t.Fatal("ring eviction did not consolidate")
+	}
+	// The oldest surviving entry (t=2ms, keys 1..3) must have absorbed
+	// the evicted bases.
+	if at, ok := m.RestoreBefore(2500 * time.Microsecond); !ok || at != 2*time.Millisecond {
+		t.Fatalf("RestoreBefore = %v, %v", at, ok)
+	}
+	if len(f.vals) != 3 || f.vals[1] != 10 || f.vals[3] != 30 {
+		t.Fatalf("restored vals = %v", f.vals)
+	}
+	// Entries newer than the restore target are discarded.
+	if m.Checkpoints() != 1 {
+		t.Fatalf("after RestoreBefore ring holds %d entries", m.Checkpoints())
+	}
+}
+
+func TestRestoreBeforeFallsBackToOldest(t *testing.T) {
+	clock := simclock.New(0)
+	m := NewManager(clock, nil, time.Millisecond)
+	m.SetRing(2)
+	f := newDeltaSub("d", m.Gen)
+	m.Register(f)
+	clock.Advance(time.Millisecond)
+	f.set(1, 1)
+	m.TakeCheckpoint()
+	clock.Advance(time.Millisecond)
+	f.set(1, 2)
+	m.TakeCheckpoint()
+	// Taint predates every checkpoint: the oldest is the best rewind.
+	if at, ok := m.RestoreBefore(0); !ok || at != time.Millisecond {
+		t.Fatalf("RestoreBefore(0) = %v, %v", at, ok)
+	}
+	if f.vals[1] != 1 {
+		t.Fatalf("restored vals = %v", f.vals)
+	}
+}
+
+func TestChainThresholdConsolidates(t *testing.T) {
+	clock := simclock.New(0)
+	m := NewManager(clock, nil, time.Millisecond)
+	m.SetRing(100)
+	m.SetMaxChain(2)
+	f := newDeltaSub("d", m.Gen)
+	m.Register(f)
+	for i := 0; i < 6; i++ {
+		f.set(i, i)
+		m.TakeCheckpoint()
+		clock.Advance(time.Millisecond)
+	}
+	// Ring is bounded by maxChain+1, not the large ring setting.
+	if m.Checkpoints() != 3 {
+		t.Fatalf("ring holds %d entries, want 3", m.Checkpoints())
+	}
+	m.Restore()
+	if len(f.vals) != 6 {
+		t.Fatalf("restored vals = %v", f.vals)
+	}
+}
+
+// TestFullIncrementalEquivalence runs the same mutation script under
+// full-copy and incremental capture and demands identical restores.
+func TestFullIncrementalEquivalence(t *testing.T) {
+	run := func(incremental bool) map[int]int {
+		clock := simclock.New(0)
+		m := NewManager(clock, nil, time.Millisecond)
+		m.SetIncremental(incremental)
+		m.SetRing(3)
+		f := newDeltaSub("d", m.Gen)
+		m.Register(f)
+		for i := 0; i < 10; i++ {
+			f.set(i%4, i*100)
+			m.TakeCheckpoint()
+			clock.Advance(time.Millisecond)
+			if i == 6 {
+				m.Restore()
+			}
+		}
+		m.RestoreBefore(8500 * time.Microsecond)
+		return f.vals
+	}
+	full, incr := run(false), run(true)
+	if len(full) != len(incr) {
+		t.Fatalf("full=%v incremental=%v", full, incr)
+	}
+	for k, v := range full {
+		if incr[k] != v {
+			t.Fatalf("key %d: full=%d incremental=%d", k, v, incr[k])
+		}
+	}
+}
+
+// TestLateRegistrationFallsBackToFull covers a subsystem registered
+// after checkpoints already exist: the next capture must be full.
+func TestLateRegistrationFallsBackToFull(t *testing.T) {
+	clock := simclock.New(0)
+	m := NewManager(clock, nil, time.Millisecond)
+	a := newDeltaSub("a", m.Gen)
+	m.Register(a)
+	a.set(1, 1)
+	m.TakeCheckpoint()
+
+	b := newDeltaSub("b", m.Gen)
+	m.Register(b)
+	b.set(7, 70)
+	clock.Advance(time.Millisecond)
+	m.TakeCheckpoint()
+	if a.deltas != 0 {
+		t.Fatalf("post-registration capture used deltas (%d)", a.deltas)
+	}
+	a.set(1, 9)
+	b.set(7, 99)
+	m.Restore()
+	if a.vals[1] != 1 || b.vals[7] != 70 {
+		t.Fatalf("restored a=%v b=%v", a.vals, b.vals)
 	}
 }
 

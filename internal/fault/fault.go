@@ -275,6 +275,15 @@ func crashEveryN(rng *rand.Rand, s crash.Site) int64 {
 		return 6 + rng.Int63n(5)
 	case crash.SiteResource:
 		return 5 + rng.Int63n(4)
+	case crash.SitePager:
+		// Evictions only start once the frame pool fills, so the
+		// mid-eviction site needs a moderate cadence to fire at all.
+		return 7 + rng.Int63n(5)
+	case crash.SiteAccept:
+		// Accepts are the sparsest traffic in the crash phase — one
+		// connection per surviving round — so mid-accept crashes need a
+		// short cadence to strike at all.
+		return 4 + rng.Int63n(3)
 	default: // commit, abort, undo: the paper's uncovered escape routes
 		return 4 + rng.Int63n(4)
 	}
@@ -690,12 +699,26 @@ func (in *Injector) MaybeCrash(site crash.Site, graftKey string) {
 		if in.due(i, r, in.siteHits[site]) {
 			in.fire(Panic, string(site), fmt.Sprintf("injected kernel panic (%s)", crash.SiteClass(site)))
 			in.crashed[site]++
-			panic(&crash.Panic{
+			p := &crash.Panic{
 				Class:  crash.SiteClass(site),
 				Site:   site,
 				Graft:  graftKey,
 				Reason: "injected crash",
-			})
+			}
+			// Every third crash at a site models delayed detection: the
+			// corruption predates the panic by 25 ms of virtual time, so
+			// checkpoints younger than the taint are suspect. Recovery on
+			// a checkpoint ring rolls back to the newest checkpoint
+			// predating the taint; with a single checkpoint the fallback
+			// is that checkpoint, the pre-ring behaviour. Derived from
+			// the injection sequence, not the rng stream, so plans and
+			// single-checkpoint traces are unchanged.
+			if in.crashed[site]%3 == 0 {
+				if t := in.clock.Now() - 25*time.Millisecond; t > 0 {
+					p.TaintedAt = t
+				}
+			}
+			panic(p)
 		}
 	}
 }

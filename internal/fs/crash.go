@@ -48,27 +48,29 @@ func copyDirty(m map[int64][]byte) map[int64][]byte {
 	return out
 }
 
+// fsDelta is the incremental capture: files created or written since a
+// generation (with only their freshly dirtied blocks), plus the small
+// volatile scalars — directory set, descriptor table, counters — which
+// mutate on nearly every operation and are cheaper to copy than to
+// track per-field.
+type fsDelta struct {
+	files   map[string]*fileSnap
+	dirs    map[string]bool
+	fds     map[int]*ofSnap
+	nextFD  int
+	nextLBA int64
+	stats   Stats
+}
+
 // CrashName implements crash.Snapshotter.
 func (fs *FS) CrashName() string { return "fs" }
 
-// CrashSnapshot implements crash.Snapshotter.
-func (fs *FS) CrashSnapshot() any {
-	s := &fsSnap{
-		files:   make(map[string]*fileSnap, len(fs.files)),
-		dirs:    make(map[string]bool, len(fs.dirs)),
-		fds:     make(map[int]*ofSnap, len(fs.fdTable)),
-		nextFD:  fs.nextFD,
-		nextLBA: fs.nextLBA,
-		stats:   fs.stats,
-	}
-	for n, f := range fs.files {
-		s.files[n] = &fileSnap{file: f, dirty: copyDirty(f.dirty)}
-	}
-	for d := range fs.dirs {
-		s.dirs[d] = true
-	}
+// snapFDs deep-copies the descriptor table (shared by full and delta
+// captures; the table is bounded by open descriptors, not file data).
+func (fs *FS) snapFDs() map[int]*ofSnap {
+	fds := make(map[int]*ofSnap, len(fs.fdTable))
 	for fd, of := range fs.fdTable {
-		s.fds[fd] = &ofSnap{
+		fds[fd] = &ofSnap{
 			of:             of,
 			raWindow:       of.RAWindow,
 			queue:          append([]int64(nil), of.queue...),
@@ -83,7 +85,117 @@ func (fs *FS) CrashSnapshot() any {
 			stallTime:      of.StallTime,
 		}
 	}
+	return fds
+}
+
+func (fs *FS) snapDirs() map[string]bool {
+	dirs := make(map[string]bool, len(fs.dirs))
+	for d := range fs.dirs {
+		dirs[d] = true
+	}
+	return dirs
+}
+
+// CrashSnapshot implements crash.Snapshotter.
+func (fs *FS) CrashSnapshot() any {
+	s := &fsSnap{
+		files:   make(map[string]*fileSnap, len(fs.files)),
+		dirs:    fs.snapDirs(),
+		fds:     fs.snapFDs(),
+		nextFD:  fs.nextFD,
+		nextLBA: fs.nextLBA,
+		stats:   fs.stats,
+	}
+	for n, f := range fs.files {
+		s.files[n] = &fileSnap{file: f, dirty: copyDirty(f.dirty)}
+	}
 	return s
+}
+
+// CrashDelta implements crash.DeltaSnapshotter: only blocks written
+// (and files created) in generations after sinceGen are copied, so the
+// capture costs O(state changed) rather than O(file data).
+func (fs *FS) CrashDelta(sinceGen uint64) any {
+	d := &fsDelta{
+		files:   make(map[string]*fileSnap),
+		dirs:    fs.snapDirs(),
+		fds:     fs.snapFDs(),
+		nextFD:  fs.nextFD,
+		nextLBA: fs.nextLBA,
+		stats:   fs.stats,
+	}
+	for n, f := range fs.files {
+		if f.genCreated > sinceGen {
+			// New file: its whole dirty set rides the delta.
+			d.files[n] = &fileSnap{file: f, dirty: copyDirty(f.dirty)}
+			continue
+		}
+		if f.maxDirtyGen <= sinceGen {
+			continue
+		}
+		fsn := &fileSnap{file: f, dirty: make(map[int64][]byte)}
+		for b, g := range f.dirtyGen {
+			if g <= sinceGen {
+				continue
+			}
+			if blk, ok := f.dirty[b]; ok {
+				fsn.dirty[b] = append([]byte(nil), blk...)
+			}
+		}
+		d.files[n] = fsn
+	}
+	return d
+}
+
+// CrashMerge implements crash.DeltaSnapshotter. The base is mutated in
+// place and returned, so folding costs O(delta): the delta's blocks
+// are grafted onto the base's per-file maps, and the wholesale-copied
+// scalars simply replace the base's.
+func (fs *FS) CrashMerge(base, delta any) any {
+	d := delta.(*fsDelta)
+	if base == nil {
+		s := &fsSnap{files: d.files, dirs: d.dirs, fds: d.fds, nextFD: d.nextFD, nextLBA: d.nextLBA, stats: d.stats}
+		return s
+	}
+	s := base.(*fsSnap)
+	for n, fsn := range d.files {
+		if bs, ok := s.files[n]; ok && bs.file == fsn.file {
+			for b, blk := range fsn.dirty {
+				bs.dirty[b] = blk
+			}
+		} else {
+			s.files[n] = fsn
+		}
+	}
+	s.dirs = d.dirs
+	s.fds = d.fds
+	s.nextFD = d.nextFD
+	s.nextLBA = d.nextLBA
+	s.stats = d.stats
+	return s
+}
+
+// SnapshotBytes sizes a capture — a CrashSnapshot or CrashDelta result —
+// by the block payload it carries, the dominant term of a file-system
+// checkpoint. The checkpoint-cost sweep and benchmark use it to show
+// that incremental captures carry O(dirty) bytes.
+func SnapshotBytes(snap any) int64 {
+	var files map[string]*fileSnap
+	switch s := snap.(type) {
+	case *fsSnap:
+		files = s.files
+	case *fsDelta:
+		files = s.files
+	default:
+		return 0
+	}
+	var n int64
+	for _, f := range files {
+		for _, blk := range f.dirty {
+			n += int64(len(blk))
+		}
+	}
+	return n
 }
 
 // CrashRestore implements crash.Snapshotter.
@@ -98,6 +210,12 @@ func (fs *FS) CrashRestore(snap any) {
 	fs.files = make(map[string]*File, len(s.files))
 	for n, fsn := range s.files {
 		fsn.file.dirty = copyDirty(fsn.dirty)
+		// Restored blocks match the consolidated checkpoint image
+		// exactly, so their dirty stamps rewind to zero: the next
+		// incremental capture copies only post-restore writes. Stale
+		// stamps for blocks written after the checkpoint die here too.
+		fsn.file.dirtyGen = nil
+		fsn.file.maxDirtyGen = 0
 		fs.files[n] = fsn.file
 	}
 	fs.dirs = make(map[string]bool, len(s.dirs))

@@ -109,13 +109,31 @@ type File struct {
 	start  int64 // first LBA
 	fs     *FS
 	dirty  map[int64][]byte // overwritten blocks (block number -> data)
+
+	// Checkpoint dirty tracking: the crash-manager generation at which
+	// the file was created and each dirty block last written, so an
+	// incremental checkpoint copies only blocks touched since the last
+	// capture. Zero stamps (no crash manager, or state just restored)
+	// are never newer than a capture.
+	genCreated  uint64
+	dirtyGen    map[int64]uint64
+	maxDirtyGen uint64
+}
+
+// crashGen returns the crash manager's current generation for dirty
+// stamping, or zero when checkpoints are off.
+func (fs *FS) crashGen() uint64 {
+	if fs.k != nil && fs.k.Crash != nil {
+		return fs.k.Crash.Gen()
+	}
+	return 0
 }
 
 // Create makes a file of the given size owned by owner. Content is
 // deterministic: byte i of block b is a function of (lba, i), so tests
 // can verify reads without storing the data.
 func (fs *FS) Create(name string, size int64, owner graft.UID, public bool) *File {
-	f := &File{Name: name, Size: size, Owner: owner, Public: public, start: fs.nextLBA, fs: fs, dirty: make(map[int64][]byte)}
+	f := &File{Name: name, Size: size, Owner: owner, Public: public, start: fs.nextLBA, fs: fs, dirty: make(map[int64][]byte), genCreated: fs.crashGen()}
 	fs.nextLBA += (size+BlockSize-1)/BlockSize + 16 // gap between files
 	fs.files[name] = f
 	return f
@@ -524,6 +542,15 @@ func (of *OpenFile) WriteAt(t *sched.Thread, data []byte, off int64) (int, error
 		blk := append([]byte(nil), of.file.blockContent(b)...)
 		copy(blk[blockOff:], data[written:written+chunk])
 		of.file.dirty[b] = blk
+		if g := of.fs.crashGen(); g != 0 {
+			if of.file.dirtyGen == nil {
+				of.file.dirtyGen = make(map[int64]uint64)
+			}
+			of.file.dirtyGen[b] = g
+			if g > of.file.maxDirtyGen {
+				of.file.maxDirtyGen = g
+			}
+		}
 		of.fs.cache.put(of.file.start+b, blk, false)
 		written += chunk
 	}

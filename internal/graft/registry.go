@@ -69,10 +69,23 @@ type Registry struct {
 	// with the guard key of the graft whose dispatch was active.
 	Faults *fault.Injector
 
+	// GenSource, when set, supplies the crash manager's checkpoint
+	// generation so membership churn can be dirty-flagged.
+	GenSource func() uint64
+
 	callables map[string]Callable
 	points    map[string]*Point
 	installed map[*Installed]bool
+	modGen    uint64 // generation of the last membership change
 	stats     Stats
+}
+
+// stampMembership marks the point/install membership as modified in
+// the current checkpoint generation.
+func (r *Registry) stampMembership() {
+	if r.GenSource != nil {
+		r.modGen = r.GenSource()
+	}
 }
 
 // emit records a trace event at the current virtual time.
@@ -135,6 +148,7 @@ func (r *Registry) RegisterPoint(p *Point) *Point {
 	}
 	p.reg = r
 	r.points[p.Name] = p
+	r.stampMembership()
 	return p
 }
 
@@ -152,6 +166,7 @@ func (r *Registry) UnregisterPoint(name string) {
 		r.remove(h)
 	}
 	delete(r.points, name)
+	r.stampMembership()
 }
 
 // Lookup finds a graft point by name: the handle-obtaining step of
@@ -322,6 +337,7 @@ func (r *Registry) Install(t *sched.Thread, pointName string, img *sfi.Image, op
 		sort.SliceStable(p.handlers, func(i, j int) bool { return p.handlers[i].Order < p.handlers[j].Order })
 	}
 	r.installed[g] = true
+	r.stampMembership()
 	r.stats.Installs++
 	r.emit(trace.GraftInstall, pointName, fmt.Sprintf("image %q by uid %d", img.Name, uid))
 	return g, nil
@@ -356,6 +372,7 @@ func (r *Registry) remove(g *Installed) {
 	}
 	g.removed = true
 	delete(r.installed, g)
+	r.stampMembership()
 	p := g.Point
 	if p.grafted == g {
 		p.grafted = nil
@@ -657,6 +674,22 @@ func (r *Registry) CrashRestore(snap any) {
 		p.handlers = append([]*Installed(nil), hs...)
 	}
 }
+
+// CrashDelta implements crash.DeltaSnapshotter: membership only moves
+// on point registration and graft install/remove, so a quiet registry
+// reports nil and the checkpoint keeps the previous image. A changed
+// registry snapshots in full — membership is interlinked (points ↔
+// installed ↔ handlers) and far smaller than file or page state.
+func (r *Registry) CrashDelta(sinceGen uint64) any {
+	if r.GenSource != nil && r.modGen <= sinceGen {
+		return nil
+	}
+	return r.CrashSnapshot()
+}
+
+// CrashMerge implements crash.DeltaSnapshotter: a non-nil delta is a
+// full image and replaces the base.
+func (r *Registry) CrashMerge(base, delta any) any { return delta }
 
 // Trigger fires an event point: for each installed handler, in order, a
 // worker thread is spawned that runs the handler inside a transaction

@@ -210,6 +210,13 @@ type GraftHealth struct {
 	// this graft's behalf (the paper's 35us + 10L + cG per abort).
 	AbortCost     time.Duration
 	AbortsByCause map[txn.AbortCause]int64
+	// Recoveries counts kernel-panic recoveries this graft caused, and
+	// RecoveryCost accumulates the virtual time each one destroyed (the
+	// rewind from crash instant back to the restored checkpoint) —
+	// billed like abort costs, but on its own axis: a graft can be
+	// cheap to abort yet ruinous to recover from.
+	Recoveries   int64
+	RecoveryCost time.Duration
 	// QuarantineEnd is the virtual instant the current quarantine
 	// expires (meaningful while State is Quarantined).
 	QuarantineEnd time.Duration
@@ -360,6 +367,17 @@ func (s *Supervisor) RecordAbort(key string, cause txn.AbortCause, cost time.Dur
 	return VerdictKeep
 }
 
+// RecordRecovery bills a kernel-panic recovery to the offending graft:
+// rewound is the virtual time between the crash instant and the restored
+// checkpoint, i.e. the work the crash destroyed. Kept apart from abort
+// costs so the ledger distinguishes contained-abort overhead from
+// whole-kernel rewinds.
+func (s *Supervisor) RecordRecovery(key string, rewound time.Duration) {
+	e := s.get(key)
+	e.Recoveries++
+	e.RecoveryCost += rewound
+}
+
 // StateOf returns the ledger state for key; ok is false for grafts the
 // supervisor has never seen (implicitly Healthy).
 func (s *Supervisor) StateOf(key string) (st State, ok bool) {
@@ -430,12 +448,13 @@ func (r Report) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "graft health ledger (%d grafts, %d quarantines, %d expelled):\n",
 		len(r.Grafts), r.Quarantines(), r.Expulsions())
-	fmt.Fprintf(&b, "  %-34s %-11s %5s %6s %5s %5s %4s %11s  %s\n",
-		"GRAFT", "STATE", "INV", "COMMIT", "ABORT", "BLOCK", "QUAR", "ABORTCOST", "CAUSES")
+	fmt.Fprintf(&b, "  %-34s %-11s %5s %6s %5s %5s %4s %11s %4s %11s  %s\n",
+		"GRAFT", "STATE", "INV", "COMMIT", "ABORT", "BLOCK", "QUAR", "ABORTCOST", "REC", "RECCOST", "CAUSES")
 	for _, g := range r.Grafts {
-		fmt.Fprintf(&b, "  %-34s %-11s %5d %6d %5d %5d %4d %11s  %s\n",
+		fmt.Fprintf(&b, "  %-34s %-11s %5d %6d %5d %5d %4d %11s %4d %11s  %s\n",
 			g.Key, g.State, g.Invocations, g.Commits, g.Aborts, g.ShortCircuits,
-			g.Quarantines, fmtCost(g.AbortCost), causesString(g.AbortsByCause))
+			g.Quarantines, fmtCost(g.AbortCost), g.Recoveries, fmtCost(g.RecoveryCost),
+			causesString(g.AbortsByCause))
 	}
 	return b.String()
 }

@@ -80,6 +80,16 @@ type ChaosConfig struct {
 	// CheckpointEvery overrides the virtual-time checkpoint cadence
 	// (default 20 ms) when Crash is set.
 	CheckpointEvery time.Duration
+	// CheckpointRing bounds the checkpoint ring (default 1: only the
+	// newest image is a restore target). With a deeper ring, recovery
+	// from a delayed-detection panic can rewind past the newest
+	// checkpoint to one predating the taint.
+	CheckpointRing int
+	// CheckpointFullCopy disables incremental (base + delta chain)
+	// capture and deep-copies every subsystem at every checkpoint.
+	// Restored state and trace dumps are byte-identical either way;
+	// the switch exists for cost comparison and regression A/Bs.
+	CheckpointFullCopy bool
 	// CrashRulesPerSite is how many Panic rules are derived per crash
 	// site (default 2) when Crash is set and no explicit Plan is given.
 	CrashRulesPerSite int
@@ -253,6 +263,9 @@ type chaosRun struct {
 	// vm is the most recent vmm instance (eviction/pager phase), kept so
 	// the post-recovery audit can check frame-table consistency.
 	vm *vmm.VMM
+	// net is the kernel's network stack (created once: its callables
+	// register per kernel), shared by the net and crash phases.
+	net *netstk.Net
 	// injected tracks every misbehaving graft for post-abort audits.
 	injected []*injectedGraft
 	nInject  int
@@ -260,6 +273,10 @@ type chaosRun struct {
 	// post-recovery account audit; nCrash numbers their points.
 	crashGrafts []*graft.Installed
 	nCrash      int
+	// crashVM and crashNet are the crash phase's eviction and accept
+	// traffic targets (the pager and accept crash sites).
+	crashVM  *vmm.VMM
+	crashNet *netstk.Net
 	// instRng, when non-nil (VaryInstalls), draws randomized install
 	// options. It is seeded from cfg.Seed on a stream separate from the
 	// plan's, and every draw happens at a deterministic point in the
@@ -326,6 +343,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	}
 	if cfg.Crash && !cfg.NoRecover {
 		kcfg.CheckpointEvery = cfg.CheckpointEvery
+		kcfg.CheckpointRing = cfg.CheckpointRing
+		kcfg.CheckpointFullCopy = cfg.CheckpointFullCopy
 	}
 	k := kernel.New(kcfg)
 	c := &chaosRun{cfg: cfg, k: k, report: &ChaosReport{Plan: plan}}
@@ -724,6 +743,7 @@ func (c *chaosRun) phaseEviction() error {
 // process reinstalls it and keeps serving.
 func (c *chaosRun) phaseNet() error {
 	n := netstk.New(c.k)
+	c.net = n
 	port := n.Listen("tcp", 7)
 	const echoSrc = `
 .name chaos-echo

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	vfs "vino/internal/fs"
+)
+
+// The sweep's byte columns are deterministic (they count captured block
+// payload); the time columns are host wall-clock and only sanity-checked
+// loosely here — BenchmarkCheckpoint is the precise timing artifact.
+func TestCheckpointCostSweepScalesWithDirtyFraction(t *testing.T) {
+	pts, err := CheckpointCostSweep([]int{1024}, []int{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	byPct := map[int]CheckpointCostPoint{}
+	for _, p := range pts {
+		byPct[p.DirtyPct] = p
+	}
+	full := int64(1024) * vfs.BlockSize
+	for pct, p := range byPct {
+		if p.FullBytes != full {
+			t.Errorf("%d%% dirty: full capture carries %d bytes, want the whole state %d", pct, p.FullBytes, full)
+		}
+		stride := dirtyStride(pct)
+		want := int64((1024+stride-1)/stride) * vfs.BlockSize
+		if p.IncrBytes != want {
+			t.Errorf("%d%% dirty: incremental capture carries %d bytes, want %d", pct, p.IncrBytes, want)
+		}
+	}
+	// O(dirty), not O(state): the 1% capture must be far smaller than
+	// the 100% capture, and 10% at least 5x smaller than full.
+	if 5*byPct[10].IncrBytes > byPct[10].FullBytes {
+		t.Errorf("10%% dirty: incremental bytes %d not 5x below full %d",
+			byPct[10].IncrBytes, byPct[10].FullBytes)
+	}
+	if byPct[1].IncrUS >= byPct[100].IncrUS && byPct[100].IncrUS > 0 {
+		t.Logf("note: 1%% capture (%.1fus) not cheaper than 100%% (%.1fus) on this host",
+			byPct[1].IncrUS, byPct[100].IncrUS)
+	}
+	out := FormatCheckpointCostSweep(pts)
+	for _, col := range []string{"blocks", "dirty%", "full (us)", "incr (bytes)", "speedup"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("sweep table missing column %q:\n%s", col, out)
+		}
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"vino/internal/graft"
 	"vino/internal/kernel"
 	"vino/internal/lock"
+	"vino/internal/netstk"
 	"vino/internal/resource"
 	"vino/internal/sched"
+	"vino/internal/vmm"
 )
 
 // phaseCrash drives the kernel-panic containment machinery: the
@@ -33,6 +35,19 @@ func (c *chaosRun) phaseCrash() error {
 	k := c.k
 	fsys := c.fsys
 	fsys.Create("crash-db", 1<<20, graft.Root, false)
+
+	// Eviction and accept traffic for the pager and accept crash sites:
+	// a small frame pool the per-round working sets overflow, and a
+	// listener the rounds connect to. Created before the baseline
+	// checkpoint so both subsystems are in the snapshot set from the
+	// phase's first image.
+	c.crashVM = vmm.New(k, 24)
+	c.vm = c.crashVM
+	if c.net == nil {
+		c.net = netstk.New(k)
+	}
+	c.crashNet = c.net
+	c.crashNet.Listen("tcp", 9)
 
 	// Baseline image: the first panic needs a restore point even if it
 	// strikes before the cadence first elapses.
@@ -146,6 +161,30 @@ func (c *chaosRun) spawnCrashWork(i int) {
 		}
 		c.crashGrafts = append(c.crashGrafts, g)
 		pt.Invoke(t) // commits normally; aborts fall back to the default
+
+		// The pager and accept crash sites, driven on the rounds without
+		// a misbehaving graft and after the transactional work above, so
+		// the deep transaction sites keep firing too. Eviction pressure:
+		// a working set wider than the crash pool, torn down so a clean
+		// round never strands the pool's frames.
+		if i%2 == 1 {
+			// Accept traffic: no handler on the port, so the accept site
+			// strikes between connection registration and handler
+			// dispatch — the window the restore must reconcile.
+			if _, err := c.crashNet.Connect(k.Sched, "tcp", 9, []byte("syn")); err != nil {
+				c.violate("crash work %d: connect: %v", i, err)
+			}
+			vas := c.crashVM.NewVAS(t)
+			for j := int64(0); j < 16; j++ {
+				vpn := (int64(i)*5 + j) % 28
+				if j%4 == 0 {
+					vas.TouchWrite(t, vpn)
+				} else {
+					vas.Touch(t, vpn)
+				}
+			}
+			vas.Destroy()
+		}
 	})
 }
 

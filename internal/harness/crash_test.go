@@ -40,6 +40,13 @@ func TestCrashPhaseContainsPanics(t *testing.T) {
 			t.Errorf("no %s panics fired; by class: %v", c, r.PanicsByClass)
 		}
 	}
+	// The extended taxonomy: mid-eviction and mid-accept crashes must
+	// strike (and be recovered) too.
+	for _, s := range []crash.Site{crash.SitePager, crash.SiteAccept} {
+		if r.CrashedSites[s] == 0 {
+			t.Errorf("no %s-site panics fired; by site: %v", s, r.CrashedSites)
+		}
+	}
 	var total int64
 	for _, n := range r.PanicsByClass {
 		total += n
@@ -125,6 +132,37 @@ func TestNoRecoverFatalDeterministic(t *testing.T) {
 	if b.FatalPanic != a.FatalPanic {
 		t.Errorf("fatal panic differs across reruns: %q vs %q", a.FatalPanic, b.FatalPanic)
 	}
+}
+
+// TestMinimizeChunkedFewerRuns pits the halving passes against the
+// plain granularity-one reduction on the full crash plan (30+ rules):
+// both must land on the identical minimal reproducer, and the chunked
+// engine must get there in strictly fewer replays.
+func TestMinimizeChunkedFewerRuns(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, Crash: true, NoRecover: true, Iterations: 10}
+	chunked, err := minimize(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear, err := minimize(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig := chunked.Removed + len(chunked.Plan.Rules); orig < 30 {
+		t.Fatalf("baseline plan has %d rules; the comparison needs a 30+ rule plan", orig)
+	}
+	if chunked.Signature != linear.Signature {
+		t.Fatalf("signatures differ: chunked %q, linear %q", chunked.Signature, linear.Signature)
+	}
+	if chunked.Plan.Encode() != linear.Plan.Encode() {
+		t.Errorf("minimal plans differ:\n%s---\n%s", chunked.Plan.Encode(), linear.Plan.Encode())
+	}
+	if chunked.Runs >= linear.Runs {
+		t.Errorf("chunked ddmin used %d replays, linear %d: halving passes saved nothing",
+			chunked.Runs, linear.Runs)
+	}
+	t.Logf("replays: chunked %d vs linear %d (plan %d -> %d rules)",
+		chunked.Runs, linear.Runs, chunked.Removed+len(chunked.Plan.Rules), len(chunked.Plan.Rules))
 }
 
 func TestSignatureNormalizesDigits(t *testing.T) {

@@ -83,6 +83,39 @@ func TestGoldenChaosDump(t *testing.T) {
 	}
 }
 
+// TestGoldenCrashDump pins the crash phase's determinism artifact and
+// proves the incremental-checkpoint engine is invisible in it: a run
+// with full-copy captures (the pre-delta behaviour) must reproduce the
+// incremental golden byte for byte — only capture cost may differ
+// between the modes, never a trace or a summary.
+func TestGoldenCrashDump(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, Extended: true, Crash: true}
+	incr, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if !incr.Survived() {
+		t.Fatalf("crash run did not survive:\n%s", incr.Summary())
+	}
+	goldenCompare(t, "crash-seed7.summary", incr.Summary())
+	goldenCompare(t, "crash-seed7.dump", incr.TraceDump)
+
+	fcfg := cfg
+	fcfg.CheckpointFullCopy = true
+	full, err := RunChaos(fcfg)
+	if err != nil {
+		t.Fatalf("RunChaos (full copy): %v", err)
+	}
+	if full.TraceDump != incr.TraceDump {
+		t.Error("full-copy trace dump diverged from incremental")
+		reportFirstDiff(t, full.TraceDump, incr.TraceDump)
+	}
+	if full.Summary() != incr.Summary() {
+		t.Errorf("full-copy summary diverged from incremental:\n%s\n---\n%s",
+			full.Summary(), incr.Summary())
+	}
+}
+
 func TestGoldenTables(t *testing.T) {
 	var b strings.Builder
 	if tab, err := ReadAheadTable(); err != nil {

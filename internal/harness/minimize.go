@@ -67,12 +67,31 @@ type MinimizeResult struct {
 // under NoRecover so the first contained panic is the failure — and the
 // result's plan is strictly smaller unless every rule is load-bearing.
 //
-// The reduction is greedy ddmin at granularity one: each pass tries
-// deleting every rule in turn against the current best plan, keeps the
-// first deletion that preserves the signature, and restarts; it stops
-// when a full pass removes nothing. Every replay is a full deterministic
-// chaos run, so the minimal plan is exact, not probabilistic.
+// The reduction is ddmin: halving passes first delete whole chunks of
+// rules (size n/2, then n/4, ... down to pairs), so a plan whose failure
+// needs only a few rules sheds most of its bulk in O(log n) replays;
+// a final greedy pass at granularity one then tries each remaining rule
+// in turn until a full pass removes nothing, which makes the result
+// exact — every surviving rule's lone deletion loses the signature.
+// Every replay is a full deterministic chaos run, so the minimal plan
+// is exact, not probabilistic.
 func Minimize(cfg ChaosConfig) (*MinimizeResult, error) {
+	return minimize(cfg, true)
+}
+
+// deleteRange returns plan with n rules removed starting at start.
+func deleteRange(p *fault.Plan, start, n int) *fault.Plan {
+	cand := &fault.Plan{Seed: p.Seed, Rules: make([]fault.Rule, 0, len(p.Rules)-n)}
+	cand.Rules = append(cand.Rules, p.Rules[:start]...)
+	cand.Rules = append(cand.Rules, p.Rules[start+n:]...)
+	return cand
+}
+
+// minimize is the engine behind Minimize. chunked enables the halving
+// passes; false replays the plain granularity-one reduction (kept so a
+// test can compare replay counts — both modes reach the same fixpoint
+// because the one-rule pass always runs last).
+func minimize(cfg ChaosConfig, chunked bool) (*MinimizeResult, error) {
 	cfg = cfg.withDefaults()
 	base, err := RunChaos(cfg)
 	if err != nil {
@@ -85,24 +104,38 @@ func Minimize(cfg ChaosConfig) (*MinimizeResult, error) {
 
 	best := base.Plan
 	res := &MinimizeResult{Signature: sig, Runs: 1}
+	// reproduces replays a candidate plan and reports whether the
+	// failure signature survives. A candidate that breaks the harness
+	// itself (not the kernel) is simply not a reproducer.
+	reproduces := func(cand *fault.Plan) bool {
+		ccfg := cfg
+		ccfg.Plan = cand
+		rep, err := RunChaos(ccfg)
+		res.Runs++
+		return err == nil && Signature(rep) == sig
+	}
+
+	if chunked {
+		for size := len(best.Rules) / 2; size >= 2; size /= 2 {
+			for start := 0; start < len(best.Rules); {
+				n := size
+				if start+n > len(best.Rules) {
+					n = len(best.Rules) - start
+				}
+				if cand := deleteRange(best, start, n); reproduces(cand) {
+					best = cand // retry the same offset against the shrunk plan
+				} else {
+					start += n
+				}
+			}
+		}
+	}
+
 	for {
 		shrunk := false
 		for i := range best.Rules {
-			cand := &fault.Plan{Seed: best.Seed, Rules: make([]fault.Rule, 0, len(best.Rules)-1)}
-			cand.Rules = append(cand.Rules, best.Rules[:i]...)
-			cand.Rules = append(cand.Rules, best.Rules[i+1:]...)
-			ccfg := cfg
-			ccfg.Plan = cand
-			rep, err := RunChaos(ccfg)
-			res.Runs++
-			if err != nil {
-				// A candidate that breaks the harness itself (not the
-				// kernel) is simply not a reproducer; keep the rule.
-				continue
-			}
-			if Signature(rep) == sig {
+			if cand := deleteRange(best, i, 1); reproduces(cand) {
 				best = cand
-				res.Removed++
 				shrunk = true
 				break
 			}
@@ -112,5 +145,6 @@ func Minimize(cfg ChaosConfig) (*MinimizeResult, error) {
 		}
 	}
 	res.Plan = best
+	res.Removed = len(base.Plan.Rules) - len(best.Rules)
 	return res, nil
 }

@@ -140,6 +140,66 @@ func TestStallContainedAsPanic(t *testing.T) {
 	}
 }
 
+func TestRingRecoveryRollsPastTaint(t *testing.T) {
+	// A checkpoint ring plus a delayed-detection panic: the corruption
+	// predates the two newest checkpoints, so recovery must skip them
+	// and restore the newest checkpoint older than the taint.
+	k := New(Config{ZeroTxnCosts: true, CheckpointEvery: time.Hour, CheckpointRing: 3})
+	for i := 0; i < 3; i++ {
+		k.SpawnProcess("worker", 7, func(p *Process) { p.Thread.Charge(10 * time.Millisecond) })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		k.Checkpoint() // checkpoints at 10 ms, 20 ms, 30 ms
+	}
+	if n := k.Crash.Checkpoints(); n != 3 {
+		t.Fatalf("ring holds %d checkpoints, want 3", n)
+	}
+	k.SpawnProcess("bad", 7, func(p *Process) {
+		p.Thread.Charge(10 * time.Millisecond)
+		panic(&crash.Panic{
+			Class: crash.SFIBreach, Site: crash.SiteDispatch,
+			Reason:    "late-detected corruption",
+			TaintedAt: 15 * time.Millisecond,
+		})
+	})
+	recovered, err := k.RunRecovered()
+	if err != nil || recovered != 1 {
+		t.Fatalf("RunRecovered = %d, %v, want 1 recovery", recovered, err)
+	}
+	if at := k.Clock.Now(); at != 10*time.Millisecond {
+		t.Errorf("clock after tainted recovery = %v, want the 10ms checkpoint", at)
+	}
+	if n := k.Crash.Checkpoints(); n != 1 {
+		t.Errorf("ring holds %d checkpoints after restore, want 1 (younger ones discarded)", n)
+	}
+	revs := k.Trace.Filter(trace.Recovery)
+	if len(revs) != 1 || !strings.Contains(revs[0].Detail, "rewound 30ms") {
+		t.Errorf("recovery events = %v, want one rewinding 30ms", revs)
+	}
+
+	// Restore after restore: checkpoint again on the survivor state and
+	// contain an immediate-detection panic, which takes the newest.
+	k.SpawnProcess("worker", 7, func(p *Process) { p.Thread.Charge(5 * time.Millisecond) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Checkpoint() // at 15 ms
+	k.SpawnProcess("bad", 7, func(p *Process) {
+		p.Thread.Charge(5 * time.Millisecond)
+		panic(&crash.Panic{Class: crash.SFIBreach, Site: crash.SiteDispatch, Reason: "immediate"})
+	})
+	if recovered, err := k.RunRecovered(); err != nil || recovered != 1 {
+		t.Fatalf("second RunRecovered = %d, %v, want 1 recovery", recovered, err)
+	}
+	if at := k.Clock.Now(); at != 15*time.Millisecond {
+		t.Errorf("clock after second recovery = %v, want the 15ms checkpoint", at)
+	}
+	if st := k.Crash.Stats(); st.Panics != 2 || st.Recoveries != 2 {
+		t.Errorf("crash stats = %+v, want 2 panics / 2 recoveries", st)
+	}
+}
+
 func TestGuardLedgerSurvivesRecovery(t *testing.T) {
 	// The guard health ledger is deliberately NOT restored by recovery:
 	// a graft that keeps crashing the kernel must escalate through the

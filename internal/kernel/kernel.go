@@ -69,6 +69,16 @@ type Config struct {
 	// contained kernel panic strikes. Zero (the default) disables
 	// checkpointing, keeping the classic path byte-identical.
 	CheckpointEvery time.Duration
+	// CheckpointRing bounds the checkpoint ring: recovery can rewind to
+	// any of the last N checkpoints, and delayed-detection panics (a
+	// non-zero Panic.TaintedAt) restore the newest checkpoint predating
+	// the taint. Zero or one keeps only the newest checkpoint.
+	CheckpointRing int
+	// CheckpointFullCopy disables incremental (base + delta chain)
+	// checkpoint capture and deep-copies every subsystem on every
+	// checkpoint. Restored state and traces are byte-identical either
+	// way; the switch exists for cost comparison and regression A/Bs.
+	CheckpointFullCopy bool
 }
 
 // Kernel is one simulated machine.
@@ -101,6 +111,7 @@ type Kernel struct {
 	log        []string
 	processes  map[string]*Process
 	nextPID    int
+	capLogLen  map[uint64]int // checkpoint generation -> log length at capture
 	delegation *delegationState
 	hoardLock  *lock.Lock
 }
@@ -158,6 +169,11 @@ func New(cfg Config) *Kernel {
 	}
 	if cfg.CheckpointEvery > 0 {
 		k.Crash = crash.NewManager(clock, tr, cfg.CheckpointEvery)
+		k.Crash.SetRing(cfg.CheckpointRing)
+		k.Crash.SetIncremental(!cfg.CheckpointFullCopy)
+		// Dirty stamps for incremental capture.
+		locks.GenSource = k.Crash.Gen
+		reg.GenSource = k.Crash.Gen
 		// Registration order is restore order: raw kernel state first,
 		// then the subsystems layered on it.
 		k.Crash.Register(k)
@@ -204,8 +220,21 @@ type kernelSnap struct {
 // CrashName implements crash.Snapshotter.
 func (k *Kernel) CrashName() string { return "kernel" }
 
+// noteLogLen records the log length at the current checkpoint
+// generation, so a later CrashDelta can ship only the appended tail.
+func (k *Kernel) noteLogLen() {
+	if k.Crash == nil {
+		return
+	}
+	if k.capLogLen == nil {
+		k.capLogLen = make(map[uint64]int)
+	}
+	k.capLogLen[k.Crash.Gen()] = len(k.log)
+}
+
 // CrashSnapshot implements crash.Snapshotter.
 func (k *Kernel) CrashSnapshot() any {
+	k.noteLogLen()
 	s := &kernelSnap{
 		log:      append([]string(nil), k.log...),
 		procs:    make(map[string]*Process, len(k.processes)),
@@ -216,6 +245,68 @@ func (k *Kernel) CrashSnapshot() any {
 		s.procs[n] = p
 		s.accounts[n] = p.Account.Snapshot()
 	}
+	return s
+}
+
+// kernelDelta is the incremental capture: the log lines appended since
+// the predecessor checkpoint plus the (small) process table. The log
+// is the kernel's only unbounded structure; the table is copied whole.
+type kernelDelta struct {
+	fromLen  int // log length at the predecessor capture
+	logTail  []string
+	procs    map[string]*Process
+	accounts map[string]*resource.AccountSnap
+	nextPID  int
+}
+
+// CrashDelta implements crash.DeltaSnapshotter.
+func (k *Kernel) CrashDelta(sinceGen uint64) any {
+	from, ok := k.capLogLen[sinceGen]
+	if !ok || from > len(k.log) {
+		// No record of the predecessor capture (or an impossible one):
+		// fall back to a full image, which CrashMerge replaces with.
+		return k.CrashSnapshot()
+	}
+	// Deltas are only ever asked against the newest entry's generation,
+	// so older memos are dead; prune them to keep the map bounded.
+	for g := range k.capLogLen {
+		if g < sinceGen {
+			delete(k.capLogLen, g)
+		}
+	}
+	k.noteLogLen()
+	d := &kernelDelta{
+		fromLen:  from,
+		logTail:  append([]string(nil), k.log[from:]...),
+		procs:    make(map[string]*Process, len(k.processes)),
+		accounts: make(map[string]*resource.AccountSnap, len(k.processes)),
+		nextPID:  k.nextPID,
+	}
+	for n, p := range k.processes {
+		d.procs[n] = p
+		d.accounts[n] = p.Account.Snapshot()
+	}
+	return d
+}
+
+// CrashMerge implements crash.DeltaSnapshotter.
+func (k *Kernel) CrashMerge(base, delta any) any {
+	if full, ok := delta.(*kernelSnap); ok {
+		return full
+	}
+	d := delta.(*kernelDelta)
+	if base == nil {
+		base = &kernelSnap{}
+	}
+	s := base.(*kernelSnap)
+	if d.fromLen <= len(s.log) {
+		s.log = append(s.log[:d.fromLen], d.logTail...)
+	} else {
+		s.log = append(s.log, d.logTail...)
+	}
+	s.procs = d.procs
+	s.accounts = d.accounts
+	s.nextPID = d.nextPID
 	return s
 }
 
@@ -303,14 +394,24 @@ func (k *Kernel) recoverFromPanic(cp *crash.Panic) {
 	// before Shutdown (which drives Run to drain the kill signals).
 	k.Sched.TakePanic()
 	k.Sched.Shutdown()
-	at, _ := k.Crash.Restore()
+	// Delayed detection (non-zero TaintedAt) means checkpoints taken
+	// after the taint may already carry corrupt state: restore the
+	// newest one predating it. Immediate detection takes the newest.
+	var at time.Duration
+	if cp.TaintedAt > 0 {
+		at, _ = k.Crash.RestoreBefore(cp.TaintedAt)
+	} else {
+		at, _ = k.Crash.Restore()
+	}
 	// Blame lands after the restore so an expel verdict is not undone
-	// by the snapshot reinstating the graft. The cost fed to the ledger
-	// is the virtual time the crash destroyed: work since the checkpoint.
+	// by the snapshot reinstating the graft. The virtual time the crash
+	// destroyed — work since the checkpoint — is billed to the graft as
+	// recovery cost, on its own ledger axis apart from abort costs.
 	if cp.Graft != "" && k.Guard != nil {
-		if k.Guard.RecordAbort(cp.Graft, txn.ClassifyPanicCause(cp.Class), crashedAt-at) == guard.VerdictExpel {
+		if k.Guard.RecordAbort(cp.Graft, txn.ClassifyPanicCause(cp.Class), 0) == guard.VerdictExpel {
 			k.Grafts.RemoveGuardKey(cp.Graft)
 		}
+		k.Guard.RecordRecovery(cp.Graft, crashedAt-at)
 	}
 	k.Clock.Reset(at)
 	k.Sched.CrashReset(at)

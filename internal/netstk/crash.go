@@ -1,0 +1,77 @@
+package netstk
+
+// Crash checkpoint/restore for the network stack. Connections (with
+// their stream positions), listeners and counters rewind exactly, so a
+// mid-accept crash cannot leak a half-accepted connection past the
+// restore. The state is small — bounded by live connections — so the
+// full copy doubles as the incremental delta, the sanctioned fallback
+// for subsystems whose snapshot is already O(dirty).
+
+type connSnap struct {
+	conn    *Conn
+	in      []byte
+	readPos int
+	out     []byte
+	closed  bool
+}
+
+type netSnap struct {
+	ports    map[string]*Port
+	conns    map[int64]*connSnap
+	nextConn int64
+	stats    Stats
+}
+
+// CrashName implements crash.Snapshotter.
+func (n *Net) CrashName() string { return "netstk" }
+
+// CrashSnapshot implements crash.Snapshotter.
+func (n *Net) CrashSnapshot() any {
+	s := &netSnap{
+		ports:    make(map[string]*Port, len(n.ports)),
+		conns:    make(map[int64]*connSnap, len(n.conns)),
+		nextConn: n.nextConn,
+		stats:    n.stats,
+	}
+	for k, p := range n.ports {
+		s.ports[k] = p
+	}
+	for id, c := range n.conns {
+		s.conns[id] = &connSnap{
+			conn:    c,
+			in:      append([]byte(nil), c.in...),
+			readPos: c.readPos,
+			out:     append([]byte(nil), c.out...),
+			closed:  c.closed,
+		}
+	}
+	return s
+}
+
+// CrashDelta implements crash.DeltaSnapshotter via the full-copy
+// fallback: live-connection state is tiny next to fs and vmm.
+func (n *Net) CrashDelta(sinceGen uint64) any { return n.CrashSnapshot() }
+
+// CrashMerge implements crash.DeltaSnapshotter: the delta is a full
+// image, so it simply replaces the base.
+func (n *Net) CrashMerge(base, delta any) any { return delta }
+
+// CrashRestore implements crash.Snapshotter.
+func (n *Net) CrashRestore(snap any) {
+	s := snap.(*netSnap)
+	n.ports = make(map[string]*Port, len(s.ports))
+	for k, p := range s.ports {
+		n.ports[k] = p
+	}
+	n.conns = make(map[int64]*Conn, len(s.conns))
+	for id, cs := range s.conns {
+		c := cs.conn
+		c.in = append([]byte(nil), cs.in...)
+		c.readPos = cs.readPos
+		c.out = append([]byte(nil), cs.out...)
+		c.closed = cs.closed
+		n.conns[id] = c
+	}
+	n.nextConn = s.nextConn
+	n.stats = s.stats
+}

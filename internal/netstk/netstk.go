@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"vino/internal/crash"
 	"vino/internal/graft"
 	"vino/internal/kernel"
 	"vino/internal/resource"
@@ -57,6 +58,9 @@ func New(k *kernel.Kernel) *Net {
 		conns: make(map[int64]*Conn),
 	}
 	n.registerCallables()
+	if k.Crash != nil {
+		k.Crash.Register(n)
+	}
 	return n
 }
 
@@ -125,6 +129,10 @@ func (n *Net) Connect(s *sched.Scheduler, proto string, num int, request []byte)
 	n.conns[c.ID] = c
 	n.stats.Connections++
 	n.stats.BytesIn += int64(len(request))
+	// Mid-accept crash site: the connection is registered and counted
+	// but no handler has been triggered — restore must not leave a
+	// half-accepted connection behind.
+	n.k.Faults.MaybeCrash(crash.SiteAccept, "")
 	if n.k.Faults.DropConnection(c.ID) {
 		// Connection churn: the peer resets before any handler runs.
 		// Handlers are still triggered — they must survive finding a

@@ -182,6 +182,15 @@ func (m *Manager) CrashRestore(snap any) {
 	m.lastAbort = s.lastAbort
 }
 
+// CrashDelta implements crash.DeltaSnapshotter as the sanctioned
+// full-copy fallback: the manager's checkpointable state is a handful
+// of counters, cheaper to copy than to dirty-track.
+func (m *Manager) CrashDelta(sinceGen uint64) any { return m.CrashSnapshot() }
+
+// CrashMerge implements crash.DeltaSnapshotter: the delta is a full
+// image, so it simply replaces the base.
+func (m *Manager) CrashMerge(base, delta any) any { return delta }
+
 const localKey = "txn.current"
 
 // Current returns the innermost active transaction associated with the

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"vino/internal/crash"
 	"vino/internal/graft"
 	"vino/internal/kernel"
 	"vino/internal/lock"
@@ -114,6 +115,29 @@ type Page struct {
 	referenced bool
 	dirty      bool
 	elem       *list.Element
+
+	// modGen is the crash-manager generation of the page's last flag
+	// change, so an incremental checkpoint copies only touched pages.
+	modGen uint64
+}
+
+// crashGen returns the crash manager's current generation for dirty
+// stamping, or zero when checkpoints are off.
+func (v *VMM) crashGen() uint64 {
+	if v.k != nil && v.k.Crash != nil {
+		return v.k.Crash.Gen()
+	}
+	return 0
+}
+
+// stamp marks a page (and its space) as modified in the current
+// generation. Over-stamping is harmless — a stamped-but-unchanged page
+// rides the next delta at its current, correct flags.
+func (v *VMM) stamp(p *Page) {
+	if g := v.crashGen(); g != 0 {
+		p.modGen = g
+		p.vas.modGen = g
+	}
 }
 
 // Dirty reports whether the page has been written since it was last
@@ -141,6 +165,10 @@ type VAS struct {
 	listLock   *lock.Lock
 	mappings   []mapping
 
+	// Checkpoint dirty tracking (see Page.modGen).
+	genCreated uint64
+	modGen     uint64
+
 	// Per-space stats.
 	Faults    int64
 	Evictions int64
@@ -158,11 +186,12 @@ var pageListClass = &lock.Class{
 func (v *VMM) NewVAS(t *sched.Thread) *VAS {
 	v.nextVAS++
 	vas := &VAS{
-		id:    v.nextVAS,
-		owner: graft.ThreadUID(t),
-		acct:  graft.ThreadAccount(t),
-		vmm:   v,
-		pages: make(map[int64]*Page),
+		id:         v.nextVAS,
+		owner:      graft.ThreadUID(t),
+		acct:       graft.ThreadAccount(t),
+		vmm:        v,
+		pages:      make(map[int64]*Page),
+		genCreated: v.crashGen(),
 	}
 	vas.listLock = v.k.Locks.NewLock(fmt.Sprintf("vas/%d.pagelist", v.nextVAS), pageListClass)
 	vas.evictPoint = v.k.Grafts.RegisterPoint(&graft.Point{
@@ -243,13 +272,16 @@ func (vas *VAS) Resident() int {
 	return n
 }
 
-// Page returns the page object for vpn, creating it on first use.
+// Page returns the page object for vpn, creating it on first use. The
+// page is stamped into the current checkpoint generation: every flag
+// mutation in the fault/wire paths flows through here first.
 func (vas *VAS) Page(vpn int64) *Page {
 	p, ok := vas.pages[vpn]
 	if !ok {
 		p = &Page{vas: vas, vpn: vpn}
 		vas.pages[vpn] = p
 	}
+	vas.vmm.stamp(p)
 	return p
 }
 
@@ -364,6 +396,7 @@ func (v *VMM) release(t *sched.Thread, p *Page) {
 	if !p.resident {
 		return
 	}
+	v.stamp(p)
 	if p.dirty {
 		if t != nil {
 			v.stats.WriteBacks++
@@ -373,6 +406,10 @@ func (v *VMM) release(t *sched.Thread, p *Page) {
 		}
 		p.dirty = false
 	}
+	// Mid-eviction crash site: the write-back is accounted but the
+	// frame is still charged and queued — restore must reconcile the
+	// in-flight page-out.
+	v.k.Faults.MaybeCrash(crash.SitePager, "")
 	p.resident = false
 	if p.elem != nil {
 		v.globalQueue.Remove(p.elem)
@@ -407,6 +444,7 @@ func (v *VMM) MakeVictimNext(vas *VAS, vpn int64) {
 	if p == nil || !p.resident || p.elem == nil {
 		return
 	}
+	v.stamp(p)
 	p.referenced = false
 	v.globalQueue.MoveToBack(p.elem)
 }
@@ -426,6 +464,7 @@ func (v *VMM) globalVictim() *Page {
 			continue
 		}
 		if p.referenced {
+			v.stamp(p)
 			p.referenced = false
 			v.globalQueue.MoveToFront(e)
 			v.stats.SecondChances++
