@@ -3,6 +3,7 @@ package vino
 import (
 	"time"
 
+	"vino/internal/campaign"
 	"vino/internal/crash"
 	"vino/internal/fault"
 	"vino/internal/graft"
@@ -506,6 +507,19 @@ func NewCrashRules(seed int64, perSite int) []FaultRule { return fault.NewCrashR
 // for an unknown key.
 func FaultGraftSource(key string) string { return fault.GraftSource(key) }
 
+// -----------------------------------------------------------------------------
+// Chaos testing: run, fingerprint, minimize, campaign.
+//
+// One chaos run (RunChaos) injects a fault plan into a fresh kernel
+// and audits the survival invariants. Its report is fingerprinted two
+// ways: ChaosFailureSignature identifies a *failure* (empty for
+// survivors; what the minimizer preserves), ChaosRunSignature
+// fingerprints *every* run's behaviour shape (what campaign coverage
+// is keyed on). MinimizeChaos delta-debugs a failing plan to a minimal
+// reproducer; RunCampaign evolves whole populations of plans toward
+// novel signatures and distills each discovery into a corpus entry.
+// -----------------------------------------------------------------------------
+
 // ChaosConfig parameterises a chaos run.
 type ChaosConfig = harness.ChaosConfig
 
@@ -520,17 +534,66 @@ type ChaosReport = harness.ChaosReport
 // removed), then disarms injection and re-runs a clean workload.
 func RunChaos(cfg ChaosConfig) (*ChaosReport, error) { return harness.RunChaos(cfg) }
 
-// ChaosSignature reduces a chaos report to its failure identity: the
-// "kernel-panic class@site" of a NoRecover run, or the first invariant
-// violation with digits normalized. "" means the run survived.
-func ChaosSignature(r *ChaosReport) string { return harness.Signature(r) }
+// ChaosFailureSignature reduces a chaos report to its failure identity:
+// the "kernel-panic class@site" of a NoRecover run, or the first
+// invariant violation with digits normalized. "" means the run
+// survived. This is the identity MinimizeChaos preserves while
+// deleting rules.
+func ChaosFailureSignature(r *ChaosReport) string { return harness.Signature(r) }
+
+// ChaosRunSignature fingerprints a run's behaviour shape — verdict,
+// crash sites struck, panic classes contained, with counts and
+// virtual-time stamps stripped. Unlike ChaosFailureSignature it is
+// never empty: surviving runs with different containment footprints
+// fingerprint differently, which is what campaign coverage counts.
+func ChaosRunSignature(r *ChaosReport) string { return harness.NormalizedSignature(r) }
+
+// ChaosSignature is the old name for ChaosFailureSignature.
+//
+// Deprecated: use ChaosFailureSignature.
+func ChaosSignature(r *ChaosReport) string { return ChaosFailureSignature(r) }
 
 // MinimizeResult is the outcome of MinimizeChaos: the minimal plan,
-// the preserved failure signature, and the replay counts.
+// the preserved signature, and the replay counts.
 type MinimizeResult = harness.MinimizeResult
 
 // MinimizeChaos delta-debugs a failing chaos config's fault plan,
 // deleting every rule whose removal preserves the failure signature.
 // The result's plan replays standalone via ChaosConfig.Plan (or a
-// -faultfile written from its Encode form).
+// faultfile written from its Encode form).
 func MinimizeChaos(cfg ChaosConfig) (*MinimizeResult, error) { return harness.Minimize(cfg) }
+
+// MinimizeChaosTo generalises MinimizeChaos to an arbitrary signature
+// function: the plan shrinks as far as sigOf's value on the baseline
+// run is preserved. Pass ChaosRunSignature to minimize a *surviving*
+// run's containment footprint — how the campaign distills its corpus.
+func MinimizeChaosTo(cfg ChaosConfig, sigOf func(*ChaosReport) string) (*MinimizeResult, error) {
+	return harness.MinimizeTo(cfg, sigOf)
+}
+
+// CampaignConfig parameterises a coverage-guided chaos campaign; the
+// zero value (plus a Seed) runs the stock 256-run, 8-shard sweep.
+type CampaignConfig = campaign.Config
+
+// CampaignReport is a campaign's outcome: the coverage map, the novel
+// signatures in discovery order, and the minimized reproducer corpus.
+// CoverageDump and WriteCorpus emit the byte-stable determinism
+// artifacts.
+type CampaignReport = campaign.Report
+
+// CampaignEntry is one corpus reproducer: a minimized plan plus the
+// chaos knobs and run signature it reproduces. Its Encode form is a
+// valid faultfile (the header rides in comments).
+type CampaignEntry = campaign.Entry
+
+// RunCampaign executes a coverage-guided chaos campaign: seeds shard
+// across a bounded worker pool of isolated kernels, every run is
+// fingerprinted with ChaosRunSignature, plans mutate toward novel
+// signatures, and each novel signature's plan is delta-debugged into a
+// minimal reproducer. For a fixed (Seed, Shards) the outcome is a pure
+// function of the config at any worker count.
+func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) { return campaign.Run(cfg) }
+
+// LoadCampaignCorpus reads a WriteCorpus directory back as entries,
+// sorted by file name — how CI replays the checked-in reproducers.
+func LoadCampaignCorpus(dir string) ([]*CampaignEntry, error) { return campaign.LoadCorpus(dir) }

@@ -2,6 +2,7 @@ package vino_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -271,5 +272,73 @@ func TestGuardSurface(t *testing.T) {
 	}
 	if len(k.Trace.Filter(vino.TraceGraftQuarantine)) != 1 {
 		t.Error("no graft-quarantine trace event")
+	}
+}
+
+// TestChaosCampaignSurface exercises the regrouped chaos family —
+// run, fingerprint, minimize, campaign — through the public API, and
+// keeps the deprecated ChaosSignature wrapper agreeing with its
+// canonical name.
+func TestChaosCampaignSurface(t *testing.T) {
+	cfg := vino.ChaosConfig{Seed: 7, Iterations: 16, Extended: true, Crash: true}
+	rep, err := vino.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Survived() {
+		t.Fatalf("did not survive: %v", rep.Violations)
+	}
+	if got := vino.ChaosFailureSignature(rep); got != "" {
+		t.Errorf("surviving run has failure signature %q", got)
+	}
+	if vino.ChaosSignature(rep) != vino.ChaosFailureSignature(rep) {
+		t.Error("deprecated ChaosSignature disagrees with ChaosFailureSignature")
+	}
+	runSig := vino.ChaosRunSignature(rep)
+	if runSig == "" || !strings.HasPrefix(runSig, "ok ") {
+		t.Errorf("run signature = %q, want an ok-verdict fingerprint", runSig)
+	}
+
+	// Minimize a surviving run's containment footprint.
+	res, err := vino.MinimizeChaosTo(cfg, vino.ChaosRunSignature)
+	if err != nil {
+		t.Fatalf("MinimizeChaosTo: %v", err)
+	}
+	if res.Signature != runSig {
+		t.Errorf("minimized to %q, want %q", res.Signature, runSig)
+	}
+	check, err := vino.RunChaos(vino.ChaosConfig{Plan: res.Plan, Iterations: 16, Extended: true, Crash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vino.ChaosRunSignature(check) != runSig {
+		t.Error("minimal plan does not reproduce the run signature")
+	}
+
+	// A small campaign through the re-exports, corpus round-tripped
+	// through a directory.
+	camp, err := vino.RunCampaign(vino.CampaignConfig{
+		Seed: 3, Runs: 8, Shards: 4, Workers: 2, Iterations: 8,
+		Extended: true, Crash: true, MaxCorpus: 2,
+	})
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	if camp.DirtyRuns != 0 {
+		t.Fatalf("campaign audit dirty:\n%s", camp.Summary())
+	}
+	if len(camp.Novel) == 0 || len(camp.Corpus) == 0 {
+		t.Fatalf("campaign found %d signatures, %d corpus entries", len(camp.Novel), len(camp.Corpus))
+	}
+	dir := t.TempDir()
+	if err := camp.WriteCorpus(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := vino.LoadCampaignCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(camp.Corpus) {
+		t.Fatalf("loaded %d entries, wrote %d", len(entries), len(camp.Corpus))
 	}
 }

@@ -12,6 +12,8 @@
 //	vinobench -sweep smp      # multi-CPU throughput scaling
 //	vinobench -sweep smp -ncpu 8   # sweep 1,2,4,8 simulated CPUs
 //	vinobench -sweep checkpoint    # incremental vs full-copy capture cost
+//	vinobench -sweep campaign      # chaos-campaign runs/sec vs worker-pool size
+//	vinobench -sweep campaign -workers 8 -runs 64
 //	vinobench -ablation lock  # Figures 4/5 policy-encapsulation cost
 //	vinobench -ablation sfidensity
 //	vinobench -check          # semantic cross-checks (SFI-rewrite equivalence)
@@ -22,16 +24,19 @@ import (
 	"fmt"
 	"os"
 
+	"vino/internal/campaign"
 	"vino/internal/harness"
 )
 
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	table := flag.Int("table", 0, "reproduce one paper table (3-7)")
-	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint")
+	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint | campaign")
 	ablation := flag.String("ablation", "", "design-choice ablation: lock | sfidensity | misfitopt | txn")
 	check := flag.Bool("check", false, "run semantic cross-checks")
 	ncpu := flag.Int("ncpu", 4, "smp sweep: largest simulated CPU count (sweeps powers of two up to it)")
+	workers := flag.Int("workers", 8, "campaign sweep: largest worker-pool size (sweeps powers of two up to it)")
+	runs := flag.Int("runs", 64, "campaign sweep: run budget per point")
 	flag.Parse()
 
 	smpCounts := func() []int {
@@ -133,6 +138,16 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(harness.FormatCheckpointCostSweep(pts))
+		case "campaign":
+			var counts []int
+			for n := 1; n <= *workers; n *= 2 {
+				counts = append(counts, n)
+			}
+			pts, err := campaign.ThroughputSweep(1, *runs, counts)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(campaign.FormatThroughputSweep(pts))
 		default:
 			fail(fmt.Errorf("unknown sweep %q", name))
 		}
@@ -193,6 +208,7 @@ func main() {
 		runSweep("timeout")
 		runSweep("smp")
 		runSweep("checkpoint")
+		runSweep("campaign")
 		runAblation("lock")
 		runAblation("sfidensity")
 		runAblation("misfitopt")

@@ -1,0 +1,62 @@
+package main
+
+// The deprecated flat-flag interface: every pre-subcommand invocation
+// (vinosim -list, vinosim -scenario hoard, vinosim -chaos -seed=7
+// -crash -minimize=out.txt ...) keeps working by mapping onto the
+// subcommand implementations, with a one-line migration hint on
+// stderr pointing at the modern spelling.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// cmdLegacy parses the historical flat flag set and dispatches to the
+// same config builder and runners the subcommands use.
+func cmdLegacy(args []string) int {
+	fs := flag.NewFlagSet("vinosim", flag.ExitOnError)
+	list := fs.Bool("list", false, "list scenarios")
+	name := fs.String("scenario", "", "run one scenario")
+	chaos := fs.Bool("chaos", false, "run the deterministic chaos harness instead of scenarios")
+	minimize := fs.String("minimize", "", "chaos: delta-debug the failing run's fault plan and write the minimal faultfile reproducer here")
+	var c chaosFlags
+	c.register(fs)
+	fs.BoolVar(&c.crash, "crash", false, "chaos: arm the crash phase (injected kernel panics, checkpoint/restore recovery)")
+	c.registerCrash(fs)
+	fs.Parse(args)
+
+	switch {
+	case *chaos && *minimize != "":
+		hint("vinosim minimize -out=" + *minimize + " ...")
+		cfg, err := c.build()
+		if err != nil {
+			return chaosExit(err)
+		}
+		return chaosExit(runMinimize(cfg, *minimize))
+	case *chaos && (c.crash || c.norecover):
+		hint("vinosim crash ...")
+		return chaosExit(c.execute())
+	case *chaos:
+		hint("vinosim chaos ...")
+		return chaosExit(c.execute())
+	case *list:
+		hint("vinosim run -list")
+		listScenarios(os.Stdout)
+		return 0
+	default:
+		if *name != "" {
+			hint("vinosim run " + *name)
+		} else {
+			hint("vinosim run")
+		}
+		return runScenarios(*name)
+	}
+}
+
+// hint prints the flat-flag deprecation notice once per invocation.
+func hint(modern string) {
+	fmt.Fprintf(os.Stderr, "vinosim: flat flags are deprecated; use '%s' (vinosim help)\n",
+		strings.TrimSpace(modern))
+}

@@ -1,533 +1,71 @@
-// Command vinosim runs narrated scenarios on the simulated VINO kernel,
-// demonstrating each class of graft misbehavior from §2 of the paper and
-// the kernel surviving it, plus a deterministic chaos mode that injects
-// scheduled faults and audits the survival invariants.
+// Command vinosim drives the simulated VINO kernel through its
+// subcommands:
 //
-// Usage:
+//	vinosim run                        # every narrated scenario from §2
+//	vinosim run hoard                  # one scenario
+//	vinosim run -list
+//	vinosim chaos -seed=7              # scheduled fault injection + survival audit
+//	vinosim chaos -seed=7 -faults=disk,lock -extended -guard
+//	vinosim chaos -faultfile=p.txt     # replay a saved/edited plan
+//	vinosim crash -seed=7              # chaos with the crash phase armed:
+//	                                   # injected kernel panics contained & recovered
+//	vinosim crash -seed=7 -checkpoint-ring=3 -checkpoint-full
+//	vinosim crash -seed=7 -norecover   # first panic is fatal (reproducer mode)
+//	vinosim minimize -seed=7 -out=min.faultplan
+//	                                   # delta-debug a failing plan to a minimal reproducer
+//	vinosim campaign -seed=1 -runs=256 -shards=8 -corpus=corpus/
+//	                                   # coverage-guided chaos fuzzing campaign
 //
-//	vinosim -list
-//	vinosim -scenario hoard
-//	vinosim                                  # runs every scenario
-//	vinosim -chaos -seed=7                   # chaos run, all fault classes
-//	vinosim -chaos -seed=7 -faults=disk,lock # chaos run, selected classes
-//	vinosim -chaos -seed=1 -quick            # abbreviated chaos smoke
-//	vinosim -chaos -seed=7 -ncpu=4           # same audit on a 4-CPU kernel
-//	vinosim -chaos -seed=7 -extended         # + netio faults and pager phase
-//	vinosim -chaos -seed=7 -writeplan=p.txt  # save the derived plan
-//	vinosim -chaos -faultfile=p.txt          # replay a saved/edited plan
-//	vinosim -chaos -seed=7 -crash            # + crash phase: panics contained & recovered
-//	vinosim -chaos -seed=7 -crash -checkpoint-ring=3
-//	                                         # keep 3 checkpoints; recovery rolls past taint
-//	vinosim -chaos -seed=7 -crash -checkpoint-full
-//	                                         # full-copy captures (A/B vs incremental)
-//	vinosim -chaos -seed=7 -crash -norecover # first panic is fatal (reproducer mode)
-//	vinosim -chaos -seed=7 -crash -norecover -minimize=min.txt
-//	                                         # delta-debug the plan to a minimal reproducer
+// The pre-subcommand flat-flag form (vinosim -chaos -seed=7 ...) still
+// works but is deprecated: it maps onto the subcommands above and
+// prints a migration hint on stderr.
 package main
 
 import (
-	"errors"
-	"flag"
 	"fmt"
 	"os"
-	"time"
-
-	vino "vino"
+	"strings"
 )
 
-type scenario struct {
-	name  string
-	brief string
-	run   func() error
-}
-
-var scenarios = []scenario{
-	{"spin", "infinite-loop graft (s2.2): preempted, watchdogged, removed", runSpin},
-	{"hoard", "lock(resourceA); while(1) (s2.2): time-out aborts the holder's transaction", runHoard},
-	{"memory", "resource gobbler (s2.2): allocation denied at the graft's limit, state undone", runMemory},
-	{"scribble", "wild pointers (s2.1): SFI contains what would have corrupted the kernel", runScribble},
-	{"forge", "unsigned/tampered code (s2.3): the loader refuses it", runForge},
-	{"dos", "covert denial of service (s2.5): pagedaemon-style caller keeps making progress", runDoS},
-	{"http", "event graft (s3.5): an HTTP server grafted into the kernel", runHTTP},
-}
-
-var showTrace bool
-
 func main() {
-	list := flag.Bool("list", false, "list scenarios")
-	name := flag.String("scenario", "", "run one scenario")
-	chaos := flag.Bool("chaos", false, "run the deterministic chaos harness instead of scenarios")
-	seed := flag.Int64("seed", 0, "chaos: fault-plan seed (same seed = identical trace)")
-	faults := flag.String("faults", "", "chaos: comma-separated fault classes (disk,latency,pressure,net,graft,lock); empty = all")
-	quick := flag.Bool("quick", false, "chaos: abbreviated run for CI smoke tests")
-	ncpu := flag.Int("ncpu", 1, "chaos: simulated CPU count (same seed + same ncpu = identical trace)")
-	extended := flag.Bool("extended", false, "chaos: widen the fault surface (netio mid-stream faults, pager phase)")
-	faultfile := flag.String("faultfile", "", "chaos: replay the fault plan decoded from this file instead of deriving one from -seed")
-	writeplan := flag.String("writeplan", "", "chaos: save the run's fault plan (text form) to this file")
-	guard := flag.Bool("guard", false, "chaos: arm the graft supervisor (health ledger, quarantine, probation, expulsion)")
-	guardStreak := flag.Int("guard-streak", 0, "chaos: consecutive aborts before quarantine (0 = policy default)")
-	guardBackoff := flag.Duration("guard-backoff", 0, "chaos: first quarantine backoff in virtual time (0 = policy default)")
-	guardProbation := flag.Int("guard-probation", 0, "chaos: clean commits required to clear probation (0 = policy default)")
-	varyInstalls := flag.Bool("varyinstalls", false, "chaos: randomize graft install options (watchdogs, transfers, handler order) from the seed")
-	crashFlag := flag.Bool("crash", false, "chaos: arm the crash phase (injected kernel panics, checkpoint/restore recovery)")
-	checkpoint := flag.Duration("checkpoint", 20*time.Millisecond, "chaos: checkpoint cadence in virtual time (with -crash)")
-	checkpointRing := flag.Int("checkpoint-ring", 0, "chaos: keep a ring of the N newest checkpoints (0 = latest only); recovery picks the newest checkpoint predating the panic's taint")
-	checkpointFull := flag.Bool("checkpoint-full", false, "chaos: full-copy checkpoints instead of incremental deltas (A/B baseline; identical traces, O(state) capture cost)")
-	norecover := flag.Bool("norecover", false, "chaos: disable recovery — the first injected panic is fatal and reported (implies -crash)")
-	minimize := flag.String("minimize", "", "chaos: delta-debug the failing run's fault plan and write the minimal -faultfile reproducer here")
-	flag.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after each scenario or chaos run")
-	flag.Parse()
-	if *chaos {
-		opt := chaosOptions{
-			seed:           *seed,
-			faults:         *faults,
-			quick:          *quick,
-			ncpu:           *ncpu,
-			extended:       *extended,
-			faultfile:      *faultfile,
-			writeplan:      *writeplan,
-			guard:          *guard,
-			guardStreak:    *guardStreak,
-			guardBackoff:   *guardBackoff,
-			guardProbation: *guardProbation,
-			varyInstalls:   *varyInstalls,
-			crash:          *crashFlag || *norecover,
-			checkpoint:     *checkpoint,
-			checkpointRing: *checkpointRing,
-			checkpointFull: *checkpointFull,
-			norecover:      *norecover,
-			minimize:       *minimize,
-		}
-		if err := runChaos(opt); err != nil {
-			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
-			os.Exit(1)
-		}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		// Bare `vinosim` has always run every scenario; keep that.
+		os.Exit(runScenarios(""))
+	}
+	switch args[0] {
+	case "run":
+		os.Exit(cmdRun(args[1:]))
+	case "chaos":
+		os.Exit(cmdChaos(args[1:]))
+	case "crash":
+		os.Exit(cmdCrash(args[1:]))
+	case "minimize":
+		os.Exit(cmdMinimize(args[1:]))
+	case "campaign":
+		os.Exit(cmdCampaign(args[1:]))
+	case "help", "-h", "--help", "-help":
+		usage(os.Stdout)
 		return
 	}
-	if *list {
-		for _, s := range scenarios {
-			fmt.Printf("%-10s %s\n", s.name, s.brief)
-		}
-		return
+	if strings.HasPrefix(args[0], "-") {
+		os.Exit(cmdLegacy(args))
 	}
-	var failed bool
-	matched := false
-	for _, s := range scenarios {
-		if *name != "" && s.name != *name {
-			continue
-		}
-		matched = true
-		fmt.Printf("=== %s: %s\n", s.name, s.brief)
-		if err := s.run(); err != nil {
-			fmt.Printf("    FAILED: %v\n\n", err)
-			failed = true
-			continue
-		}
-		fmt.Println()
-	}
-	if !matched {
-		fmt.Fprintf(os.Stderr, "no scenario %q (use -list)\n", *name)
-		os.Exit(1)
-	}
-	if failed {
-		os.Exit(1)
-	}
+	fmt.Fprintf(os.Stderr, "vinosim: unknown command %q\n\n", args[0])
+	usage(os.Stderr)
+	os.Exit(2)
 }
 
-// chaosOptions collects the -chaos flag set.
-type chaosOptions struct {
-	seed           int64
-	faults         string
-	quick          bool
-	ncpu           int
-	extended       bool
-	faultfile      string
-	writeplan      string
-	guard          bool
-	guardStreak    int
-	guardBackoff   time.Duration
-	guardProbation int
-	varyInstalls   bool
-	crash          bool
-	checkpoint     time.Duration
-	checkpointRing int
-	checkpointFull bool
-	norecover      bool
-	minimize       string
-}
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: vinosim <command> [flags]
 
-// runChaos drives the fault-injection harness: derive a plan from the
-// seed (or decode one from -faultfile), run the workload phases under
-// injection, print the verdict, and optionally save the plan's text
-// form for later replay.
-func runChaos(opt chaosOptions) error {
-	classes, err := vino.ParseFaultClasses(opt.faults)
-	if err != nil {
-		return err
-	}
-	cfg := vino.ChaosConfig{
-		Seed:               opt.seed,
-		Classes:            classes,
-		NCPU:               opt.ncpu,
-		Extended:           opt.extended,
-		VaryInstalls:       opt.varyInstalls,
-		Crash:              opt.crash,
-		CheckpointEvery:    opt.checkpoint,
-		CheckpointRing:     opt.checkpointRing,
-		CheckpointFullCopy: opt.checkpointFull,
-		NoRecover:          opt.norecover,
-	}
-	if opt.guard {
-		pol := vino.DefaultGuardPolicy()
-		if opt.guardStreak > 0 {
-			pol.QuarantineStreak = opt.guardStreak
-		}
-		if opt.guardBackoff > 0 {
-			pol.Backoff = opt.guardBackoff
-		}
-		if opt.guardProbation > 0 {
-			pol.ProbationCommits = opt.guardProbation
-		}
-		cfg.Guard = &pol
-	}
-	if opt.faults == "" {
-		// Let withDefaults pick the class set, so -extended widens it.
-		cfg.Classes = nil
-	}
-	if opt.faultfile != "" {
-		data, err := os.ReadFile(opt.faultfile)
-		if err != nil {
-			return err
-		}
-		plan, err := vino.DecodeFaultPlan(string(data))
-		if err != nil {
-			return fmt.Errorf("%s: %w", opt.faultfile, err)
-		}
-		cfg.Plan = plan
-	}
-	if opt.quick {
-		cfg.Iterations = 16
-	}
-	if opt.minimize != "" {
-		return runMinimize(cfg, opt.minimize)
-	}
-	report, err := vino.RunChaos(cfg)
-	if err != nil {
-		return err
-	}
-	if opt.writeplan != "" {
-		if err := os.WriteFile(opt.writeplan, []byte(report.Plan.Encode()), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("chaos plan saved to %s\n", opt.writeplan)
-	}
-	fmt.Printf("chaos plan (seed %d):\n%s", report.Plan.Seed, report.Plan)
-	fmt.Print(report.Summary())
-	fmt.Print(report.CounterSummary())
-	if report.GuardHealth != nil {
-		fmt.Print(report.GuardHealth.Table())
-	}
-	if showTrace {
-		fmt.Print(report.TraceDump)
-	}
-	if !report.Survived() {
-		if report.FatalPanic != "" {
-			return fmt.Errorf("kernel panic %s was fatal (recovery disabled)", report.FatalPanic)
-		}
-		return errors.New("kernel did not survive the fault plan")
-	}
-	return nil
-}
+Commands:
+  run        narrated misbehavior scenarios (run -list to enumerate)
+  chaos      scheduled fault injection + survival audit
+  crash      chaos with the crash phase armed (panic containment & recovery)
+  minimize   delta-debug a failing fault plan to a minimal reproducer
+  campaign   coverage-guided chaos fuzzing campaign
 
-// runMinimize delta-debugs the failing config's fault plan and writes
-// the minimal reproducer as a -faultfile. The config must fail as given
-// (use -norecover so the first contained panic is the failure).
-func runMinimize(cfg vino.ChaosConfig, out string) error {
-	res, err := vino.MinimizeChaos(cfg)
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, []byte(res.Plan.Encode()), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("minimize: signature %q\n", res.Signature)
-	fmt.Printf("minimize: %d rules -> %d (%d removed, %d replays)\n",
-		len(res.Plan.Rules)+res.Removed, len(res.Plan.Rules), res.Removed, res.Runs)
-	fmt.Printf("minimize: reproducer saved to %s; replay with -chaos -faultfile=%s plus this run's flags\n", out, out)
-	return nil
-}
-
-func newKernel() *vino.Kernel {
-	return vino.New(vino.WithTrace(1024))
-}
-
-// dumpTrace prints the kernel flight recorder when -trace is set.
-func dumpTrace(k *vino.Kernel) {
-	if showTrace {
-		fmt.Print(k.Trace.Dump())
-	}
-}
-
-func echoPoint(k *vino.Kernel, name string, watchdog time.Duration) *vino.GraftPoint {
-	return k.Grafts.RegisterPoint(&vino.GraftPoint{
-		Name:      name,
-		Kind:      vino.Function,
-		Privilege: vino.Local,
-		Default:   func(t *vino.Thread, args []int64) (int64, error) { return -1, nil },
-		Watchdog:  watchdog,
-	})
-}
-
-func runSpin() error {
-	k := newKernel()
-	pt := echoPoint(k, "obj.fn", 80*time.Millisecond)
-	bystander := 0
-	done := false
-	k.SpawnProcess("victim", 100, func(p *vino.Process) {
-		g, err := p.BuildAndInstall("obj.fn", vino.FaultGraftSource(vino.FaultGraftLoop), vino.InstallOptions{})
-		if err != nil {
-			panic(err)
-		}
-		fmt.Println("    installed a graft that loops forever; invoking it...")
-		res, ierr := pt.Invoke(p.Thread)
-		done = true
-		fmt.Printf("    invoke returned default result %d after %v; abort reason: %v\n", res, k.Clock.Now(), ierr)
-		fmt.Printf("    graft forcibly removed: %v; bystander ran %d times meanwhile\n", g.Removed(), bystander)
-	})
-	k.SpawnProcess("bystander", 101, func(p *vino.Process) {
-		for !done {
-			bystander++
-			p.Thread.Charge(time.Millisecond)
-			p.Thread.Yield()
-		}
-	})
-	if err := k.Run(); err != nil {
-		return err
-	}
-	dumpTrace(k)
-	if bystander == 0 {
-		return errors.New("bystander starved")
-	}
-	return nil
-}
-
-func runHoard() error {
-	k := newKernel()
-	resourceA := k.Locks.NewLock("resourceA", &vino.LockClass{Name: "res", Timeout: 30 * time.Millisecond})
-	k.Grafts.RegisterCallable("demo.lock_a", func(ctx *vino.Ctx, args [5]int64) (int64, error) {
-		ctx.Txn.AcquireLock(resourceA, vino.Exclusive)
-		return 0, nil
-	})
-	pt := echoPoint(k, "obj.fn", 10*time.Second)
-	contenderGot := false
-	k.SpawnProcess("hog", 100, func(p *vino.Process) {
-		if _, err := p.BuildAndInstall("obj.fn", `
-.name lock-hog
-.import demo.lock_a
-.func main
-main:
-    callk demo.lock_a
-spin:
-    jmp spin
-`, vino.InstallOptions{}); err != nil {
-			panic(err)
-		}
-		fmt.Println("    graft takes resourceA and spins: the paper's lock(resourceA); while(1);")
-		_, ierr := pt.Invoke(p.Thread)
-		fmt.Printf("    holder's transaction aborted at %v: %v\n", k.Clock.Now(), ierr)
-	})
-	k.SpawnProcess("contender", 101, func(p *vino.Process) {
-		p.Thread.Charge(2 * time.Millisecond)
-		resourceA.Acquire(p.Thread, vino.Exclusive)
-		contenderGot = true
-		fmt.Printf("    contender obtained resourceA at %v\n", k.Clock.Now())
-		_ = resourceA.Release(p.Thread)
-	})
-	if err := k.Run(); err != nil {
-		return err
-	}
-	dumpTrace(k)
-	if !contenderGot {
-		return errors.New("contender starved")
-	}
-	return nil
-}
-
-func runMemory() error {
-	k := newKernel()
-	pt := echoPoint(k, "obj.fn", time.Second)
-	k.SpawnProcess("greedy", 100, func(p *vino.Process) {
-		g, err := p.BuildAndInstall("obj.fn", vino.FaultGraftSource(vino.FaultGraftBlowout),
-			vino.InstallOptions{Transfer: map[vino.ResourceKind]int64{vino.ResKernelHeap: 64 << 10}})
-		if err != nil {
-			panic(err)
-		}
-		fmt.Println("    graft allocates kernel heap in a loop against a 64 KiB grant...")
-		_, ierr := pt.Invoke(p.Thread)
-		fmt.Printf("    aborted: %v\n", ierr)
-		fmt.Printf("    graft account usage after undo: %d bytes (all allocations rolled back)\n",
-			g.Account.Used(vino.ResKernelHeap))
-	})
-	return k.Run()
-}
-
-func runScribble() error {
-	src := `
-.name scribbler
-.func main
-main:
-    movi r1, 64
-    movi r2, 0x41
-    movi r3, 512
-loop:
-    stb [r1+0], r2
-    addi r1, r1, 1
-    addi r3, r3, -1
-    jnz r3, loop
-    movi r0, 0
-    ret
-`
-	// First: what an unprotected graft would have done.
-	raw, err := vino.Toolchain{}.Build(src, vino.BuildOptions{Unsafe: true})
-	if err != nil {
-		return err
-	}
-	vm, err := vino.NewGraftVM(raw)
-	if err != nil {
-		return err
-	}
-	kmem := vm.KernelMemory()
-	for i := range kmem {
-		kmem[i] = 0xEE
-	}
-	if _, err := vm.Call("main"); err != nil {
-		return err
-	}
-	corrupted := 0
-	for _, b := range kmem {
-		if b != 0xEE {
-			corrupted++
-		}
-	}
-	fmt.Printf("    UNPROTECTED: the graft overwrote %d bytes of kernel memory\n", corrupted)
-
-	// Now through the kernel, SFI-protected.
-	k := newKernel()
-	pt := echoPoint(k, "obj.fn", time.Second)
-	k.SpawnProcess("app", 100, func(p *vino.Process) {
-		g, err := p.BuildAndInstall("obj.fn", src, vino.InstallOptions{})
-		if err != nil {
-			panic(err)
-		}
-		km := g.VM().KernelMemory()
-		for i := range km {
-			km[i] = 0xEE
-		}
-		if _, err := pt.Invoke(p.Thread); err != nil {
-			panic(err)
-		}
-		bad := 0
-		for _, b := range km {
-			if b != 0xEE {
-				bad++
-			}
-		}
-		fmt.Printf("    SFI-PROTECTED: same graft, %d bytes of kernel memory touched; writes landed in its own segment\n", bad)
-		if bad != 0 {
-			panic("SFI leak")
-		}
-	})
-	return k.Run()
-}
-
-func runForge() error {
-	k := newKernel()
-	echoPoint(k, "obj.fn", time.Second)
-	var result error
-	k.SpawnProcess("forger", 100, func(p *vino.Process) {
-		attacker := vino.Toolchain{Signer: vino.NewSigner([]byte("attacker-key"))}
-		forged, err := attacker.Build(".name evil\n.func main\nmain:\n ret", vino.BuildOptions{})
-		if err != nil {
-			result = err
-			return
-		}
-		_, err = p.Install("obj.fn", forged, vino.InstallOptions{})
-		fmt.Printf("    self-signed image: %v\n", err)
-		genuine, err := vino.ToolchainFor(k).Build(".name patched\n.func main\nmain:\n movi r0, 1\n ret", vino.BuildOptions{})
-		if err != nil {
-			result = err
-			return
-		}
-		// Patch the signed image: drop its last instruction.
-		genuine.Code = genuine.Code[:len(genuine.Code)-1]
-		_, err = p.Install("obj.fn", genuine, vino.InstallOptions{})
-		fmt.Printf("    signed-then-patched image: %v\n", err)
-	})
-	if err := k.Run(); err != nil {
-		return err
-	}
-	return result
-}
-
-func runDoS() error {
-	k := newKernel()
-	pt := echoPoint(k, "pagedaemon.pick-victim", 40*time.Millisecond)
-	k.SpawnProcess("daemon", 100, func(p *vino.Process) {
-		if _, err := p.BuildAndInstall("pagedaemon.pick-victim", vino.FaultGraftSource(vino.FaultGraftLoop), vino.InstallOptions{}); err != nil {
-			panic(err)
-		}
-		fmt.Println("    a critical caller invokes a graft that never returns, ten times:")
-		for i := 0; i < 10; i++ {
-			res, _ := pt.Invoke(p.Thread)
-			if res != -1 {
-				panic("no forward progress")
-			}
-		}
-		fmt.Printf("    all ten calls completed with the default policy; elapsed %v\n", k.Clock.Now())
-	})
-	return k.Run()
-}
-
-func runHTTP() error {
-	k := newKernel()
-	n := vino.NewNet(k)
-	port := n.Listen("tcp", 80)
-	var resp []byte
-	k.SpawnProcess("server", 100, func(p *vino.Process) {
-		if _, err := p.BuildAndInstall(port.Point().Name, `
-.name http-server
-.import net.read
-.import net.write
-.import net.close
-.data "HTTP/1.0 200 OK\r\n\r\nserved from a kernel graft"
-.func main
-main:
-    mov r6, r1
-    addi r2, r10, 512
-    movi r3, 256
-    callk net.read
-    mov r1, r6
-    mov r2, r10
-    movi r3, 45
-    callk net.write
-    mov r1, r6
-    callk net.close
-    ret
-`, vino.InstallOptions{Transfer: map[vino.ResourceKind]int64{vino.ResMemory: 4096}}); err != nil {
-			panic(err)
-		}
-		conn, err := n.Connect(k.Sched, "tcp", 80, []byte("GET / HTTP/1.0\r\n\r\n"))
-		if err != nil {
-			panic(err)
-		}
-		for i := 0; i < 20 && !conn.Closed(); i++ {
-			p.Thread.Yield()
-		}
-		resp = conn.Response()
-	})
-	if err := k.Run(); err != nil {
-		return err
-	}
-	fmt.Printf("    response: %q\n", resp)
-	return nil
+Run 'vinosim <command> -h' for that command's flags.
+`)
 }

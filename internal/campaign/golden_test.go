@@ -1,0 +1,80 @@
+package campaign
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The checked-in corpus under testdata/corpus/ is the reference
+// campaign's yield: one minimized reproducer per novel signature from
+// the pinned 256-run campaign below, plus its coverage map in
+// testdata/coverage.txt. CI replays every entry and asserts its
+// recorded signature still comes out — a graft-containment or
+// crash-recovery regression shows up as a reproducer that stops
+// reproducing (or starts failing the survival audit).
+//
+// Regenerate (only when intentionally changing campaign or kernel
+// behaviour) with:
+//
+//	go test ./internal/campaign -run Golden -update
+var updateCorpus = flag.Bool("update", false, "regenerate testdata/corpus from the pinned reference campaign")
+
+// goldenConfig is the pinned reference campaign. Workers is left unset
+// on purpose: determinism must not depend on it.
+func goldenConfig() Config {
+	return Config{
+		Seed:       1,
+		Runs:       256,
+		Shards:     8,
+		Iterations: 16,
+		Extended:   true,
+		Crash:      true,
+		MaxCorpus:  16,
+	}
+}
+
+func TestGoldenCorpusReplays(t *testing.T) {
+	dir := filepath.Join("testdata", "corpus")
+	if *updateCorpus {
+		rep, err := Run(goldenConfig())
+		if err != nil {
+			t.Fatalf("reference campaign: %v", err)
+		}
+		if rep.DirtyRuns != 0 {
+			t.Fatalf("reference campaign audit dirty:\n%s", rep.Summary())
+		}
+		if len(rep.Novel) < 10 {
+			t.Fatalf("reference campaign found only %d distinct signatures, want >= 10", len(rep.Novel))
+		}
+		if len(rep.Corpus) < 5 {
+			t.Fatalf("reference campaign distilled only %d reproducers, want >= 5", len(rep.Corpus))
+		}
+		if err := rep.WriteCorpus(dir); err != nil {
+			t.Fatalf("WriteCorpus: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join("testdata", "coverage.txt"), []byte(rep.CoverageDump()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %d corpus entries\n%s", len(rep.Corpus), rep.Summary())
+	}
+
+	entries, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("corpus has %d entries, want >= 5 (run with -update to regenerate)", len(entries))
+	}
+	for _, e := range entries {
+		sig, err := e.Replay()
+		if err != nil {
+			t.Errorf("%s: replay: %v", e.Name(), err)
+			continue
+		}
+		if sig != e.Signature {
+			t.Errorf("%s no longer reproduces:\n  replayed %s\n  recorded %s", e.Name(), sig, e.Signature)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Throughput sweep: the vinobench-facing measurement of the campaign
+// driver itself. The determinism artifacts must come out identical at
+// every worker count; the sweep measures the one thing that is allowed
+// to vary — wall-clock — and cross-checks the dumps while it is at it.
+
+// SweepPoint is one worker-count measurement.
+type SweepPoint struct {
+	Workers    int
+	Runs       int
+	Wall       time.Duration
+	RunsPerSec float64
+	// Identical reports whether this point's coverage dump matched the
+	// workers=1 baseline byte-for-byte.
+	Identical bool
+}
+
+// ThroughputSweep runs the same small campaign at each worker count and
+// measures runs/sec. The first point is the serial baseline; every
+// later point's coverage dump is compared against it, so the sweep
+// doubles as a determinism cross-check on real hardware.
+func ThroughputSweep(seed int64, runs int, workerCounts []int) ([]SweepPoint, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	base := ""
+	pts := make([]SweepPoint, 0, len(workerCounts))
+	for i, w := range workerCounts {
+		cfg := Config{
+			Seed:       seed,
+			Runs:       runs,
+			Shards:     8,
+			Workers:    w,
+			Iterations: 10,
+			Extended:   true,
+			Crash:      true,
+			MaxCorpus:  -1, // measure the driver, not the shrinker
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("campaign sweep workers=%d: %w", w, err)
+		}
+		dump := rep.CoverageDump()
+		if i == 0 {
+			base = dump
+		}
+		p := SweepPoint{
+			Workers:   w,
+			Runs:      rep.Runs,
+			Wall:      rep.Wall,
+			Identical: dump == base,
+		}
+		if s := rep.Wall.Seconds(); s > 0 {
+			p.RunsPerSec = float64(rep.Runs) / s
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// FormatThroughputSweep renders the sweep as a vinobench table.
+func FormatThroughputSweep(pts []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("Campaign throughput vs worker-pool size (identical = coverage map matches workers-baseline)\n")
+	fmt.Fprintf(&b, "%8s %6s %10s %10s %10s\n", "workers", "runs", "wall (s)", "runs/sec", "identical")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%8d %6d %10.2f %10.1f %10v\n", p.Workers, p.Runs, p.Wall.Seconds(), p.RunsPerSec, p.Identical)
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vino/internal/crash"
+)
+
+// Plan mutation: the campaign driver's genome operators. A fault plan's
+// Encode/Decode text form is the genome — every mutant must re-encode
+// and re-decode losslessly, so anything the mutator produces can be
+// saved as a -faultfile, hand-edited, and replayed. MutatePlan therefore
+// round-trips each offspring through Encode/Decode before returning it:
+// an operator that produced an inexpressible rule would be caught
+// immediately, not after a campaign checked a broken reproducer into
+// its corpus.
+//
+// The operators mirror how a human would probe a reproducer by hand:
+// drop a rule, duplicate-and-perturb one, jitter a magnitude or
+// cadence, re-aim a crash rule at a different site, graft a fresh crash
+// rule in, flip a read rule to the write path, swap the misbehaving
+// graft, or re-seed the workload-coupled decisions. All randomness
+// comes from the caller's rng, drawn in a fixed order, so a campaign
+// replays its whole mutation history from one master seed.
+
+// mutationOps is the number of distinct operators MutatePlan draws
+// from; exported indirectly through MutateOpNames for reporting.
+const mutationOps = 8
+
+// MutateOpNames names the operators in draw order (coverage reporting).
+func MutateOpNames() []string {
+	return []string{"drop", "splice", "perturb", "retime", "site-hop", "crash-graft", "add-rule", "reseed"}
+}
+
+// MutatePlan derives one offspring from p using 1–3 operator
+// applications drawn from rng. The parent is never modified. The
+// offspring is guaranteed to Validate and to round-trip through
+// Encode/Decode; if every applied operator degenerates (e.g. dropping
+// from a one-rule plan), the offspring may equal the parent.
+func MutatePlan(p *Plan, rng *rand.Rand) *Plan {
+	m := clonePlan(p)
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		applyOp(m, rng)
+	}
+	// The genome is the text form: canonicalize through it. A failed
+	// round-trip means an operator bug; fall back to the parent clone
+	// rather than poisoning the campaign.
+	out, err := Decode(m.Encode())
+	if err != nil {
+		return clonePlan(p)
+	}
+	return out
+}
+
+func clonePlan(p *Plan) *Plan {
+	return &Plan{Seed: p.Seed, Rules: append([]Rule(nil), p.Rules...)}
+}
+
+// applyOp applies one randomly drawn operator in place.
+func applyOp(m *Plan, rng *rand.Rand) {
+	switch rng.Intn(mutationOps) {
+	case 0: // drop: remove one rule (never the last — an empty plan injects nothing)
+		if len(m.Rules) > 1 {
+			i := rng.Intn(len(m.Rules))
+			m.Rules = append(m.Rules[:i], m.Rules[i+1:]...)
+		}
+	case 1: // splice: duplicate a rule with a perturbed trigger at a random position
+		if len(m.Rules) > 0 {
+			r := m.Rules[rng.Intn(len(m.Rules))]
+			perturbTrigger(&r, rng)
+			at := rng.Intn(len(m.Rules) + 1)
+			m.Rules = append(m.Rules[:at], append([]Rule{r}, m.Rules[at:]...)...)
+		}
+	case 2: // perturb: jitter one rule's magnitudes
+		if len(m.Rules) > 0 {
+			perturbMagnitude(&m.Rules[rng.Intn(len(m.Rules))], rng)
+		}
+	case 3: // retime: jitter one rule's trigger (cadence or instant)
+		if len(m.Rules) > 0 {
+			perturbTrigger(&m.Rules[rng.Intn(len(m.Rules))], rng)
+		}
+	case 4: // site-hop: re-aim a crash rule at a different site
+		if idx := pickClass(m, rng, Panic); idx >= 0 {
+			sites := crash.Sites()
+			m.Rules[idx].Site = sites[rng.Intn(len(sites))]
+		}
+	case 5: // crash-graft: graft a fresh panic rule at a random site
+		sites := crash.Sites()
+		s := sites[rng.Intn(len(sites))]
+		m.Rules = append(m.Rules, Rule{Class: Panic, Site: s, EveryN: crashEveryN(rng, s)})
+	case 6: // add-rule: a fresh generated rule of a random known class
+		all := AllClasses()
+		m.Rules = append(m.Rules, genRule(rng, all[rng.Intn(len(all))]))
+	case 7: // reseed: new workload-coupled seed (install variation, kernel rng)
+		m.Seed = rng.Int63()
+	}
+}
+
+// pickClass returns the index of a random rule of class c, or -1.
+func pickClass(m *Plan, rng *rand.Rand, c Class) int {
+	var idxs []int
+	for i, r := range m.Rules {
+		if r.Class == c {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return -1
+	}
+	return idxs[rng.Intn(len(idxs))]
+}
+
+// perturbTrigger jitters when a rule fires, preserving its trigger
+// style (EveryN stays a cadence, At stays an instant). Cadence floors
+// are class-aware: a net rule firing on *every* connection would fail
+// the workload itself (nothing ever served) rather than probe the
+// kernel, so churn classes keep a minimum survivable cadence.
+func perturbTrigger(r *Rule, rng *rand.Rand) {
+	if r.EveryN > 0 {
+		r.EveryN = jitter(r.EveryN, rng, cadenceFloor(r.Class))
+		return
+	}
+	r.At = time.Duration(jitter(int64(r.At/time.Millisecond), rng, 1)) * time.Millisecond
+	if r.At > maxInstant {
+		r.At = maxInstant
+	}
+	if r.Window > 0 {
+		r.Window = time.Duration(jitter(int64(r.Window/time.Millisecond), rng, 1)) * time.Millisecond
+		if r.Window > maxWindow {
+			r.Window = maxWindow
+		}
+	}
+}
+
+// Mutation clamps: repeated jitter is multiplicative, so magnitudes and
+// horizons need ceilings or a long lineage drifts into plans that stall
+// the simulation (a pressure spike wider than the frame pool) or fire
+// after the workload ended (an instant past the virtual horizon).
+const (
+	maxInstant       = 500 * time.Millisecond
+	maxWindow        = 500 * time.Millisecond
+	maxLatencyFactor = 32
+	maxPressure      = 72 // below the smallest chaos frame pool (96)
+)
+
+// cadenceFloor is the smallest EveryN that still leaves the workload
+// able to make progress for cadence-sensitive classes.
+func cadenceFloor(c Class) int64 {
+	switch c {
+	case Net:
+		return 2 // dropping every connection fails the echo workload outright
+	case NetIO:
+		return 3 // a handler needs a read and a write to serve at all
+	default:
+		return 1
+	}
+}
+
+// perturbMagnitude jitters a rule's class-specific magnitudes.
+func perturbMagnitude(r *Rule, rng *rand.Rand) {
+	switch r.Class {
+	case Disk, NetIO:
+		r.Write = !r.Write
+	case Latency:
+		switch rng.Intn(3) {
+		case 0:
+			r.Factor = clamp(jitter(max64(r.Factor, 2), rng, 2), maxLatencyFactor)
+		case 1:
+			r.SeekFactor = clamp(jitter(max64(r.SeekFactor, 2), rng, 2), maxLatencyFactor)
+		case 2:
+			r.TransferFactor = clamp(jitter(max64(r.TransferFactor, 2), rng, 2), maxLatencyFactor)
+		}
+	case Pressure:
+		r.Factor = clamp(jitter(max64(r.Factor, 8), rng, 1), maxPressure)
+	case Graft, Lock:
+		r.Graft = GraftKeys[rng.Intn(len(GraftKeys))]
+	case Panic:
+		r.EveryN = jitter(r.EveryN, rng, 1)
+	}
+}
+
+// jitter scales v by a factor in [0.5, 1.5) and clamps to floor.
+func jitter(v int64, rng *rand.Rand, floor int64) int64 {
+	if v <= 0 {
+		v = 1
+	}
+	out := v/2 + rng.Int63n(v+1)
+	if out < floor {
+		out = floor
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clamp(v, ceil int64) int64 {
+	if v > ceil {
+		return ceil
+	}
+	return v
+}
+
+// Validate checks that every rule in the plan satisfies the decoder's
+// constraints — exactly one trigger, a site on every panic rule, a
+// graft key on every graft/lock rule — i.e. that the plan is
+// expressible in the Encode/Decode genome form. The campaign validates
+// every mutant; tests validate every operator's output.
+func (p *Plan) Validate() error {
+	known := make(map[Class]bool)
+	for _, c := range AllClasses() {
+		known[c] = true
+	}
+	for i, r := range p.Rules {
+		if !known[r.Class] {
+			return fmt.Errorf("fault: rule %d: unknown class %q", i, r.Class)
+		}
+		if r.EveryN > 0 && r.At > 0 {
+			return fmt.Errorf("fault: rule %d: both at= and every= set", i)
+		}
+		if r.EveryN <= 0 && r.At <= 0 {
+			return fmt.Errorf("fault: rule %d (%s): no trigger", i, r.Class)
+		}
+		if r.Class == Panic && r.Site == "" {
+			return fmt.Errorf("fault: rule %d: panic rule without site", i)
+		}
+		if (r.Class == Graft || r.Class == Lock) && r.Graft == "" {
+			return fmt.Errorf("fault: rule %d: %s rule without graft key", i, r.Class)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Every mutant must be expressible in the Encode/Decode genome form:
+// re-encoding and re-decoding is lossless, and the plan validates. This
+// is the campaign's contract — anything the mutator produces can be
+// checked into the corpus as a replayable faultfile.
+func TestMutantsRoundTripLosslessly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewPlan(7, AllClasses(), 3)
+	p.Rules = append(p.Rules, NewCrashRules(7, 2)...)
+	for i := 0; i < 500; i++ {
+		p = MutatePlan(p, rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("mutant %d does not validate: %v\n%s", i, err, p.Encode())
+		}
+		enc := p.Encode()
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("mutant %d does not decode: %v\n%s", i, err, enc)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("mutant %d round-trip lossy:\nhave %#v\nback %#v", i, p, back)
+		}
+		if back.Encode() != enc {
+			t.Fatalf("mutant %d re-encode differs:\n%s\nvs\n%s", i, enc, back.Encode())
+		}
+		if len(p.Rules) == 0 {
+			t.Fatalf("mutant %d lost every rule", i)
+		}
+	}
+}
+
+// The mutator is the campaign's deterministic genome engine: the same
+// parent and the same rng stream produce the identical offspring.
+func TestMutateDeterministic(t *testing.T) {
+	parent := NewPlan(3, nil, 3)
+	parent.Rules = append(parent.Rules, NewCrashRules(3, 1)...)
+	a := MutatePlan(parent, rand.New(rand.NewSource(99)))
+	b := MutatePlan(parent, rand.New(rand.NewSource(99)))
+	if a.Encode() != b.Encode() {
+		t.Fatalf("same rng stream, different offspring:\n%s\nvs\n%s", a.Encode(), b.Encode())
+	}
+	if c := MutatePlan(parent, rand.New(rand.NewSource(100))); c.Encode() == a.Encode() {
+		t.Logf("note: adjacent seeds produced equal offspring (legal but unusual)")
+	}
+}
+
+// The parent plan is genome input, never mutated in place.
+func TestMutateLeavesParentIntact(t *testing.T) {
+	parent := NewPlan(5, nil, 3)
+	parent.Rules = append(parent.Rules, NewCrashRules(5, 2)...)
+	before := parent.Encode()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		MutatePlan(parent, rng)
+	}
+	if parent.Encode() != before {
+		t.Fatalf("parent mutated in place:\nbefore %s\nafter %s", before, parent.Encode())
+	}
+}
+
+// Over enough draws the mutator must actually explore: offspring differ
+// from the parent most of the time, rule counts move both directions,
+// and panic rules change sites.
+func TestMutateExplores(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	parent := NewPlan(7, nil, 3)
+	parent.Rules = append(parent.Rules, NewCrashRules(7, 1)...)
+	changed, grew, shrank, siteMoved := 0, 0, 0, 0
+	parentSites := make(map[string]bool)
+	for _, r := range parent.RulesFor(Panic) {
+		parentSites[string(r.Site)+r.String()] = true
+	}
+	for i := 0; i < 300; i++ {
+		m := MutatePlan(parent, rng)
+		if m.Encode() != parent.Encode() {
+			changed++
+		}
+		if len(m.Rules) > len(parent.Rules) {
+			grew++
+		}
+		if len(m.Rules) < len(parent.Rules) {
+			shrank++
+		}
+		for _, r := range m.RulesFor(Panic) {
+			if !parentSites[string(r.Site)+r.String()] {
+				siteMoved++
+				break
+			}
+		}
+	}
+	if changed < 250 {
+		t.Errorf("only %d/300 offspring differ from the parent", changed)
+	}
+	if grew == 0 || shrank == 0 {
+		t.Errorf("rule counts never moved both ways (grew %d, shrank %d)", grew, shrank)
+	}
+	if siteMoved == 0 {
+		t.Errorf("no offspring ever changed a panic rule")
+	}
+}
+
+// Validate rejects the malformed shapes the decoder would refuse.
+func TestValidateRejectsMalformedRules(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+	}{
+		{"no trigger", Rule{Class: Disk}},
+		{"both triggers", Rule{Class: Disk, EveryN: 3, At: 1}},
+		{"panic without site", Rule{Class: Panic, EveryN: 3}},
+		{"graft without key", Rule{Class: Graft, EveryN: 3}},
+		{"unknown class", Rule{Class: "cosmic-rays", EveryN: 3}},
+	}
+	for _, c := range cases {
+		p := &Plan{Seed: 1, Rules: []Rule{c.rule}}
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.rule)
+		}
+	}
+	good := NewPlan(7, AllClasses(), 2)
+	good.Rules = append(good.Rules, NewCrashRules(7, 1)...)
+	if err := good.Validate(); err != nil {
+		t.Errorf("generated plan does not validate: %v", err)
+	}
+}

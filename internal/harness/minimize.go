@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"strings"
 
 	"vino/internal/fault"
 )
@@ -12,42 +11,6 @@ import (
 // matter; Minimize replays the run with rules deleted one at a time and
 // keeps every deletion that preserves the failure signature, producing
 // a minimal standalone reproducer for vinosim -faultfile.
-
-// Signature reduces a chaos report to the identity of its failure: the
-// contained "kernel-panic class@site" of a NoRecover run, or the first
-// invariant violation with digits normalized (counts and virtual times
-// shift as the plan shrinks; the *shape* of the violation must not).
-// A surviving report has signature "".
-func Signature(r *ChaosReport) string {
-	if r.FatalPanic != "" {
-		return "kernel-panic " + r.FatalPanic
-	}
-	if len(r.Violations) > 0 {
-		return normalizeDigits(r.Violations[0])
-	}
-	if !r.FollowupOK {
-		return "follow-up failed"
-	}
-	return ""
-}
-
-// normalizeDigits replaces every digit run with '#'.
-func normalizeDigits(s string) string {
-	var b strings.Builder
-	inRun := false
-	for _, r := range s {
-		if r >= '0' && r <= '9' {
-			if !inRun {
-				b.WriteByte('#')
-				inRun = true
-			}
-			continue
-		}
-		inRun = false
-		b.WriteRune(r)
-	}
-	return b.String()
-}
 
 // MinimizeResult is the outcome of a minimization.
 type MinimizeResult struct {
@@ -76,7 +39,17 @@ type MinimizeResult struct {
 // Every replay is a full deterministic chaos run, so the minimal plan
 // is exact, not probabilistic.
 func Minimize(cfg ChaosConfig) (*MinimizeResult, error) {
-	return minimize(cfg, true)
+	return minimizeWith(cfg, true, Signature, true)
+}
+
+// MinimizeTo runs the same ddmin reduction preserving an arbitrary
+// signature function instead of the failure signature — the campaign
+// driver's shrinker, which distills every novel-NormalizedSignature
+// plan whether or not the run failed. sigOf must be deterministic; the
+// baseline signature it yields (which may describe a surviving run) is
+// what every kept deletion must reproduce.
+func MinimizeTo(cfg ChaosConfig, sigOf func(*ChaosReport) string) (*MinimizeResult, error) {
+	return minimizeWith(cfg, true, sigOf, false)
 }
 
 // deleteRange returns plan with n rules removed starting at start.
@@ -87,18 +60,26 @@ func deleteRange(p *fault.Plan, start, n int) *fault.Plan {
 	return cand
 }
 
-// minimize is the engine behind Minimize. chunked enables the halving
-// passes; false replays the plain granularity-one reduction (kept so a
-// test can compare replay counts — both modes reach the same fixpoint
-// because the one-rule pass always runs last).
+// minimize is the engine behind Minimize at the historical signature,
+// kept so tests can compare chunked vs plain replay counts.
 func minimize(cfg ChaosConfig, chunked bool) (*MinimizeResult, error) {
+	return minimizeWith(cfg, chunked, Signature, true)
+}
+
+// minimizeWith is the ddmin engine. chunked enables the halving passes;
+// false replays the plain granularity-one reduction (kept so a test can
+// compare replay counts — both modes reach the same fixpoint because
+// the one-rule pass always runs last). sigOf defines the identity to
+// preserve; requireFailure additionally rejects baselines whose
+// Signature is empty (the classic reproducer-minimizer contract).
+func minimizeWith(cfg ChaosConfig, chunked bool, sigOf func(*ChaosReport) string, requireFailure bool) (*MinimizeResult, error) {
 	cfg = cfg.withDefaults()
 	base, err := RunChaos(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("minimize baseline: %w", err)
 	}
-	sig := Signature(base)
-	if sig == "" {
+	sig := sigOf(base)
+	if requireFailure && Signature(base) == "" {
 		return nil, fmt.Errorf("minimize: run with seed %d does not fail", base.Plan.Seed)
 	}
 
@@ -112,7 +93,7 @@ func minimize(cfg ChaosConfig, chunked bool) (*MinimizeResult, error) {
 		ccfg.Plan = cand
 		rep, err := RunChaos(ccfg)
 		res.Runs++
-		return err == nil && Signature(rep) == sig
+		return err == nil && sigOf(rep) == sig
 	}
 
 	if chunked {

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"regexp"
+	"strings"
+
+	"vino/internal/crash"
+)
+
+// Signatures reduce a chaos report to a stable identity usable as a
+// fingerprint: the minimizer preserves one while deleting rules, and
+// the campaign driver keys its coverage map on one. Two forms exist:
+//
+//   - Signature is the failure identity: non-empty only when the run
+//     failed (fatal panic, invariant violation, failed follow-up). It is
+//     what the minimizer has always preserved.
+//   - NormalizedSignature fingerprints every run, surviving or not, by
+//     its observable behaviour shape — verdict, crash sites struck,
+//     panic classes contained — with counts and virtual-time stamps
+//     stripped, so semantically identical runs at different offsets or
+//     CPU counts collapse to one coverage-map key.
+
+// Signature reduces a chaos report to the identity of its failure: the
+// contained "kernel-panic class@site" of a NoRecover run, or the first
+// invariant violation with digits normalized (counts and virtual times
+// shift as the plan shrinks; the *shape* of the violation must not).
+// A surviving report has signature "".
+func Signature(r *ChaosReport) string {
+	if r.FatalPanic != "" {
+		return "kernel-panic " + r.FatalPanic
+	}
+	if len(r.Violations) > 0 {
+		return normalizeDigits(r.Violations[0])
+	}
+	if !r.FollowupOK {
+		return "follow-up failed"
+	}
+	return ""
+}
+
+// NormalizedSignature fingerprints a run's behaviour for campaign
+// coverage. Unlike Signature it is never empty: a surviving run
+// fingerprints as its crash-site/panic-class footprint, so a campaign
+// distinguishes "survived without a single panic" from "survived twelve
+// panics across five sites". The form is one line:
+//
+//	<verdict> sites=<struck crash sites> panics=<contained classes>
+//
+// where verdict is "ok", "fatal <class>@<site>", "violated <shape>" or
+// "follow-up-failed"; sites and panics list presence only (no counts),
+// in the taxonomy's canonical order, "-" when empty. Violation shapes
+// pass through NormalizeShape, so absolute virtual-time stamps — whose
+// rendered form changes shape with magnitude ("998.5ms" vs "1.0005s")
+// — never split one failure into many fingerprints.
+func NormalizedSignature(r *ChaosReport) string {
+	var b strings.Builder
+	switch {
+	case r == nil:
+		return "error no-report"
+	case r.FatalPanic != "":
+		b.WriteString("fatal " + r.FatalPanic)
+	case len(r.Violations) > 0:
+		b.WriteString("violated " + NormalizeShape(r.Violations[0]))
+	case !r.FollowupOK:
+		b.WriteString("follow-up-failed")
+	default:
+		b.WriteString("ok")
+	}
+	var sites []string
+	for _, s := range crash.Sites() {
+		if r.CrashedSites[s] > 0 {
+			sites = append(sites, string(s))
+		}
+	}
+	b.WriteString(" sites=" + joinOrDash(sites))
+	var classes []string
+	for _, c := range crash.Classes() {
+		if r.PanicsByClass[c] > 0 {
+			classes = append(classes, string(c))
+		}
+	}
+	b.WriteString(" panics=" + joinOrDash(classes))
+	return b.String()
+}
+
+func joinOrDash(parts []string) string {
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ",")
+}
+
+// normalizeDigits replaces every digit run with '#'.
+func normalizeDigits(s string) string {
+	var b strings.Builder
+	inRun := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			if !inRun {
+				b.WriteByte('#')
+				inRun = true
+			}
+			continue
+		}
+		inRun = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// durationToken matches a digit-normalized time.Duration rendering:
+// "#.#ms", "#µs", "#h#m#.#s", optionally signed. Go's duration String
+// changes *shape* with magnitude (999.8ms ticks over to 1.0002s), so
+// digit folding alone still tells two offsets of the same failure
+// apart; the whole token collapses to one marker instead.
+var durationToken = regexp.MustCompile(`-?(?:#(?:\.#)?(?:ns|µs|us|ms|h|m|s))+`)
+
+// NormalizeShape normalizes one report line for fingerprinting: digit
+// runs fold to '#', then absolute virtual-time stamps fold to "<t>".
+func NormalizeShape(s string) string {
+	return durationToken.ReplaceAllString(normalizeDigits(s), "<t>")
+}

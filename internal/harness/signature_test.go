@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"vino/internal/crash"
+	"vino/internal/fault"
+)
+
+// The normalized signature is the campaign's coverage key, so it must
+// be stable across everything that is not the failure's identity:
+// CPU count, absolute virtual-time offsets, and event counts.
+
+// ncpuStablePlan builds a plan whose fingerprint should not depend on
+// the simulated CPU count: cadences are kept above the starvation
+// floor of the churn classes so the workload itself completes at any
+// ncpu.
+func ncpuStablePlan() *fault.Plan {
+	p := &fault.Plan{Seed: 41}
+	p.Rules = []fault.Rule{
+		{Class: fault.Disk, EveryN: 5},
+		{Class: fault.Disk, EveryN: 7, Write: true},
+		{Class: fault.Latency, EveryN: 3, Factor: 6},
+		{Class: fault.Pressure, At: 40 * time.Millisecond, Window: 30 * time.Millisecond, Factor: 24},
+		{Class: fault.Graft, EveryN: 4, Graft: fault.GraftKeys[0]},
+		{Class: fault.Lock, EveryN: 5, Graft: fault.GraftKeys[2]},
+	}
+	p.Rules = append(p.Rules, fault.NewCrashRules(41, 2)...)
+	return p
+}
+
+func TestNormalizedSignatureStableAcrossNCPU(t *testing.T) {
+	plan := ncpuStablePlan()
+	var sigs []string
+	for _, ncpu := range []int{1, 4} {
+		rep, err := RunChaos(ChaosConfig{
+			Plan: plan, Iterations: 16, NCPU: ncpu, Extended: true, Crash: true,
+		})
+		if err != nil {
+			t.Fatalf("ncpu=%d: %v", ncpu, err)
+		}
+		if !rep.Survived() {
+			t.Fatalf("ncpu=%d: run did not survive: %v", ncpu, rep.Violations)
+		}
+		sigs = append(sigs, NormalizedSignature(rep))
+	}
+	if sigs[0] != sigs[1] {
+		t.Errorf("same plan fingerprints differently across CPU counts:\n ncpu=1 %s\n ncpu=4 %s", sigs[0], sigs[1])
+	}
+}
+
+// Go's duration rendering changes shape with magnitude (998.5ms vs
+// 1.0005s), so digit folding alone is not enough: the whole duration
+// token must collapse, or one failure at two offsets becomes two
+// coverage keys.
+func TestNormalizeShapeFoldsDurations(t *testing.T) {
+	a := NormalizeShape("lock watchdog: held 998.5ms at t=59.9715s")
+	b := NormalizeShape("lock watchdog: held 1.0005s at t=1m2.75s")
+	if a != b {
+		t.Errorf("duration magnitudes split the shape:\n %q\n %q", a, b)
+	}
+	if want := "lock watchdog: held <t> at t=<t>"; a != want {
+		t.Errorf("NormalizeShape = %q, want %q", a, want)
+	}
+	if got := NormalizeShape("undo log replayed 37 of 37 records"); got != "undo log replayed # of # records" {
+		t.Errorf("digit folding broke: %q", got)
+	}
+}
+
+// Verdict precedence and footprint rendering, on hand-built reports.
+func TestNormalizedSignatureVerdicts(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  *ChaosReport
+		want string
+	}{
+		{"nil report", nil, "error no-report"},
+		{"clean survivor", &ChaosReport{FollowupOK: true},
+			"ok sites=- panics=-"},
+		{"survivor with footprint", &ChaosReport{
+			FollowupOK:   true,
+			CrashedSites: map[crash.Site]int64{crash.SiteCommit: 3, crash.SiteDispatch: 1},
+			PanicsByClass: map[crash.Class]int64{
+				crash.CommitCorruption: 3, crash.UndoEscape: 1,
+			},
+		}, "ok sites=dispatch,commit panics=undo-escape,commit-corruption"},
+		{"fatal beats violation", &ChaosReport{
+			FatalPanic: "undo-escape@undo",
+			Violations: []string{"ledger mismatch"},
+		}, "fatal undo-escape@undo sites=- panics=-"},
+		{"violation beats follow-up", &ChaosReport{
+			Violations: []string{"ledger mismatch at t=1.5s after 12 commits"},
+		}, "violated ledger mismatch at t=<t> after # commits sites=- panics=-"},
+		{"follow-up failure", &ChaosReport{FollowupOK: false},
+			"follow-up-failed sites=- panics=-"},
+	}
+	for _, c := range cases {
+		if got := NormalizedSignature(c.rep); got != c.want {
+			t.Errorf("%s:\n got  %s\n want %s", c.name, got, c.want)
+		}
+	}
+}
+
+// Counts are presence-folded: 1 panic and 100 panics at the same site
+// fingerprint identically.
+func TestNormalizedSignatureFoldsCounts(t *testing.T) {
+	one := &ChaosReport{FollowupOK: true,
+		CrashedSites:  map[crash.Site]int64{crash.SiteLock: 1},
+		PanicsByClass: map[crash.Class]int64{crash.LockInvariant: 1}}
+	many := &ChaosReport{FollowupOK: true,
+		CrashedSites:  map[crash.Site]int64{crash.SiteLock: 100},
+		PanicsByClass: map[crash.Class]int64{crash.LockInvariant: 100}}
+	if a, b := NormalizedSignature(one), NormalizedSignature(many); a != b {
+		t.Errorf("counts leak into the fingerprint: %q vs %q", a, b)
+	}
+}
+
+// The failure-only Signature keeps its historical contract: empty for
+// survivors, so the minimizer's "baseline must fail" check still holds.
+func TestSignatureEmptyForSurvivors(t *testing.T) {
+	if got := Signature(&ChaosReport{FollowupOK: true}); got != "" {
+		t.Errorf("surviving report has non-empty failure signature %q", got)
+	}
+	if got := Signature(&ChaosReport{FatalPanic: "sfi-breach@dispatch"}); got != "kernel-panic sfi-breach@dispatch" {
+		t.Errorf("fatal signature = %q", got)
+	}
+}
