@@ -131,6 +131,35 @@ func WithFullCopyCheckpoints() Option {
 	return func(c *Config) { c.CheckpointFullCopy = true }
 }
 
+// Recovery scopes for WithRecoverScope.
+const (
+	RecoverScopeKernel = kernel.RecoverScopeKernel
+	RecoverScopeGraft  = kernel.RecoverScopeGraft
+)
+
+// WithRecoverScope selects how much state a contained panic rolls back.
+// RecoverScopeKernel (the default) restores the whole kernel image from
+// the last good checkpoint. RecoverScopeGraft restores only the
+// offending graft's rollback domain — its transaction undo stacks, held
+// locks, and owner-stamped file blocks and frame-table pages — leaving
+// other grafts' in-flight work live; when the crash entangles state
+// outside that domain (cross-graft lock holds, writes to shared file
+// blocks, evidence of pre-checkpoint corruption) recovery widens to the
+// whole-kernel restore and traces the decision as TraceRecoveryWidened.
+// Crash-free runs are byte-identical under either scope.
+func WithRecoverScope(scope string) Option {
+	return func(c *Config) { c.RecoverScope = scope }
+}
+
+// WithCheckpointDir persists the checkpoint ring to dir: every
+// checkpoint writes a gob manifest (cp-<seq>.gob) of the snapshot set's
+// exportable state, compacted on an exponential-age schedule so old
+// images thin out while recent ones stay dense. A later process can
+// rebuild the durable state with Kernel.RestoreFromDisk.
+func WithCheckpointDir(dir string) Option {
+	return func(c *Config) { c.CheckpointDir = dir }
+}
+
 // -----------------------------------------------------------------------------
 // Toolchain: the trusted graft build pipeline as a value.
 // -----------------------------------------------------------------------------
@@ -417,6 +446,11 @@ const (
 	TraceCheckpoint  = trace.Checkpoint
 	TraceRecovery    = trace.Recovery
 	TraceDeadlock    = trace.Deadlock
+	// Domain-scoped recovery kinds (emitted only under
+	// WithRecoverScope(RecoverScopeGraft)).
+	TraceDomainCheckpoint = trace.DomainCheckpoint
+	TraceDomainRestore    = trace.DomainRestore
+	TraceRecoveryWidened  = trace.RecoveryWidened
 )
 
 // -----------------------------------------------------------------------------

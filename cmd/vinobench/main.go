@@ -12,6 +12,7 @@
 //	vinobench -sweep smp      # multi-CPU throughput scaling
 //	vinobench -sweep smp -ncpu 8   # sweep 1,2,4,8 simulated CPUs
 //	vinobench -sweep checkpoint    # incremental vs full-copy capture cost
+//	vinobench -sweep recovery      # whole-kernel vs per-graft domain recovery cost
 //	vinobench -sweep campaign      # chaos-campaign runs/sec vs worker-pool size
 //	vinobench -sweep campaign -workers 8 -runs 64
 //	vinobench -ablation lock  # Figures 4/5 policy-encapsulation cost
@@ -31,7 +32,7 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	table := flag.Int("table", 0, "reproduce one paper table (3-7)")
-	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint | campaign")
+	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint | recovery | campaign")
 	ablation := flag.String("ablation", "", "design-choice ablation: lock | sfidensity | misfitopt | txn")
 	check := flag.Bool("check", false, "run semantic cross-checks")
 	ncpu := flag.Int("ncpu", 4, "smp sweep: largest simulated CPU count (sweeps powers of two up to it)")
@@ -138,6 +139,12 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(harness.FormatCheckpointCostSweep(pts))
+		case "recovery":
+			pts, err := harness.RecoveryCostSweep(nil)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(harness.FormatRecoveryCostSweep(pts))
 		case "campaign":
 			var counts []int
 			for n := 1; n <= *workers; n *= 2 {
@@ -208,6 +215,7 @@ func main() {
 		runSweep("timeout")
 		runSweep("smp")
 		runSweep("checkpoint")
+		runSweep("recovery")
 		runSweep("campaign")
 		runAblation("lock")
 		runAblation("sfidensity")

@@ -38,6 +38,8 @@ type chaosFlags struct {
 	checkpoint     time.Duration
 	checkpointRing int
 	checkpointFull bool
+	checkpointDir  string
+	recoverScope   string
 	norecover      bool
 }
 
@@ -63,6 +65,8 @@ func (c *chaosFlags) registerCrash(fs *flag.FlagSet) {
 	fs.IntVar(&c.checkpointRing, "checkpoint-ring", 0, "keep a ring of the N newest checkpoints (0 = latest only); recovery picks the newest checkpoint predating the panic's taint")
 	fs.BoolVar(&c.checkpointFull, "checkpoint-full", false, "full-copy checkpoints instead of incremental deltas (A/B baseline; identical traces, O(state) capture cost)")
 	fs.BoolVar(&c.norecover, "norecover", false, "disable recovery: the first injected panic is fatal and reported (reproducer mode)")
+	fs.StringVar(&c.recoverScope, "recover-scope", "kernel", "recovery scope: kernel (whole-image restore) or graft (roll back only the offender's domain, widening on cross-domain entanglement)")
+	fs.StringVar(&c.checkpointDir, "checkpoint-dir", "", "persist the checkpoint ring to this directory (gob manifests, exponential-age compaction)")
 }
 
 // build is the shared config builder every chaos-family subcommand
@@ -86,7 +90,17 @@ func (c *chaosFlags) build() (vino.ChaosConfig, error) {
 		CheckpointEvery:    c.checkpoint,
 		CheckpointRing:     c.checkpointRing,
 		CheckpointFullCopy: c.checkpointFull,
+		CheckpointDir:      c.checkpointDir,
 		NoRecover:          c.norecover,
+	}
+	switch c.recoverScope {
+	case "", vino.RecoverScopeKernel:
+		// Whole-kernel restore, the default; the zero value keeps
+		// crash-free runs byte-identical with pre-scope builds.
+	case vino.RecoverScopeGraft:
+		cfg.RecoverScope = vino.RecoverScopeGraft
+	default:
+		return vino.ChaosConfig{}, fmt.Errorf("-recover-scope: unknown scope %q (want kernel or graft)", c.recoverScope)
 	}
 	if c.guard {
 		pol := vino.DefaultGuardPolicy()

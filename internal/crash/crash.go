@@ -239,6 +239,15 @@ type Stats struct {
 	// Consolidations counts delta-chain folds (ring eviction, chain
 	// threshold, and restore-time consolidation).
 	Consolidations int64
+	// ScopedRecoveries counts recoveries that restored only the
+	// offending graft's rollback domain (included in Recoveries).
+	ScopedRecoveries int64
+	// WidenedRecoveries counts scoped-recovery attempts that detected
+	// cross-domain entanglement and fell back to a whole-kernel restore.
+	WidenedRecoveries int64
+	// RolledBackBytes accumulates the state payload reverted by scoped
+	// (domain) restores.
+	RolledBackBytes int64
 	// ByClass buckets contained panics by taxonomy class.
 	ByClass map[Class]int64
 }
@@ -253,6 +262,10 @@ type checkpoint struct {
 	at    time.Duration
 	snap  []any // parallel to Manager.subs at capture time
 	delta bool
+	// tainted records that a subsystem audit reported an invariant
+	// inconsistency in the live state this entry captured — evidence
+	// that the damage predates the capture (see EvidenceTaint).
+	tainted bool
 }
 
 // DefaultMaxChain bounds the number of delta entries chained onto a
@@ -276,6 +289,8 @@ type Manager struct {
 	seq         int64
 	gen         uint64
 	stats       Stats
+	persistDir  string
+	persistErr  error
 }
 
 // NewManager creates a checkpoint manager with the given cadence. A
@@ -383,6 +398,12 @@ func (m *Manager) TakeCheckpoint() {
 		}
 	}
 	m.gen++
+	for _, s := range m.subs {
+		if a, ok := s.(Auditor); ok && len(a.CrashAudit()) > 0 {
+			cp.tainted = true
+			break
+		}
+	}
 	m.entries = append(m.entries, cp)
 	m.trim()
 	m.stats.Checkpoints++
@@ -390,6 +411,7 @@ func (m *Manager) TakeCheckpoint() {
 		m.tr.Emit(cp.at, trace.Checkpoint, "kernel",
 			fmt.Sprintf("checkpoint %d (%d subsystems)", cp.seq, len(m.subs)))
 	}
+	m.persist(cp)
 }
 
 // trim folds the oldest entries until the ring and chain bounds hold.

@@ -364,6 +364,14 @@ type Injector struct {
 	siteHits     map[crash.Site]int64
 	crashed      map[crash.Site]int64
 
+	// SyntheticTaint re-enables the legacy delayed-detection schedule
+	// (every third crash at a site backdates the damage by 25 ms).
+	// Superseded by audit-derived taint — the kernel now backdates a
+	// panic when a checkpoint captured an already-inconsistent image —
+	// and kept only as a test hook so the ring-recovery regressions can
+	// exercise RestoreBefore deterministically.
+	SyntheticTaint bool
+
 	oneShot   map[int]bool          // rule index -> already fired (At one-shots)
 	windowEnd map[int]time.Duration // windowed rule index -> armed window close
 }
@@ -705,15 +713,15 @@ func (in *Injector) MaybeCrash(site crash.Site, graftKey string) {
 				Graft:  graftKey,
 				Reason: "injected crash",
 			}
-			// Every third crash at a site models delayed detection: the
-			// corruption predates the panic by 25 ms of virtual time, so
-			// checkpoints younger than the taint are suspect. Recovery on
-			// a checkpoint ring rolls back to the newest checkpoint
-			// predating the taint; with a single checkpoint the fallback
-			// is that checkpoint, the pre-ring behaviour. Derived from
-			// the injection sequence, not the rng stream, so plans and
-			// single-checkpoint traces are unchanged.
-			if in.crashed[site]%3 == 0 {
+			// Legacy synthetic delayed detection (test hook only): every
+			// third crash at a site backdates the corruption by 25 ms of
+			// virtual time, so checkpoints younger than the taint are
+			// suspect. Production taint now comes from audit evidence —
+			// a checkpoint whose capture-time audit found inconsistent
+			// state marks the damage as predating it (crash.EvidenceTaint).
+			// Derived from the injection sequence, not the rng stream, so
+			// enabling it changes no plan and no single-checkpoint trace.
+			if in.SyntheticTaint && in.crashed[site]%3 == 0 {
 				if t := in.clock.Now() - 25*time.Millisecond; t > 0 {
 					p.TaintedAt = t
 				}

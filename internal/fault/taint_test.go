@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"vino/internal/crash"
+	"vino/internal/simclock"
+	"vino/internal/trace"
+)
+
+// crashAt fires one MaybeCrash at site and returns the injected panic.
+func crashAt(t *testing.T, in *Injector, site crash.Site) *crash.Panic {
+	t.Helper()
+	var got *crash.Panic
+	func() {
+		defer func() {
+			r := recover()
+			cp, ok := crash.IsPanic(r)
+			if !ok {
+				t.Fatalf("MaybeCrash recovered %v, want *crash.Panic", r)
+			}
+			got = cp
+		}()
+		in.MaybeCrash(site, "g#img")
+	}()
+	return got
+}
+
+// TestSyntheticTaintHook: the legacy every-third-crash backdating
+// schedule is off by default — production taint comes from audit
+// evidence (crash.EvidenceTaint) — and only the SyntheticTaint test
+// hook re-enables it.
+func TestSyntheticTaintHook(t *testing.T) {
+	plan := &Plan{Seed: 1, Rules: []Rule{
+		{Class: Panic, Site: crash.SiteDispatch, EveryN: 1},
+	}}
+	mk := func(synthetic bool) *Injector {
+		clk := simclock.New(1_000_000_000)
+		clk.Advance(100 * time.Millisecond)
+		in := NewInjector(plan, clk, trace.New(64))
+		in.SyntheticTaint = synthetic
+		in.EnableCrash()
+		return in
+	}
+
+	in := mk(false) // default: no synthetic schedule
+	for i := 1; i <= 3; i++ {
+		if p := crashAt(t, in, crash.SiteDispatch); p.TaintedAt != 0 {
+			t.Errorf("crash %d: TaintedAt = %v, want 0 with the hook off", i, p.TaintedAt)
+		}
+	}
+
+	in = mk(true) // hook on: every third crash backdates by 25ms
+	want := []time.Duration{0, 0, 75 * time.Millisecond}
+	for i := 1; i <= 3; i++ {
+		if p := crashAt(t, in, crash.SiteDispatch); p.TaintedAt != want[i-1] {
+			t.Errorf("crash %d: TaintedAt = %v, want %v", i, p.TaintedAt, want[i-1])
+		}
+	}
+}

@@ -1,9 +1,13 @@
 package fs
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sort"
 	"time"
+
+	"vino/internal/graft"
 )
 
 // Crash checkpoint/restore for the file system. The durable image —
@@ -215,9 +219,13 @@ func (fs *FS) CrashRestore(snap any) {
 		// incremental capture copies only post-restore writes. Stale
 		// stamps for blocks written after the checkpoint die here too.
 		fsn.file.dirtyGen = nil
+		fsn.file.dirtyOwner = nil
 		fsn.file.maxDirtyGen = 0
 		fs.files[n] = fsn.file
 	}
+	// A whole-kernel restore rewinds every domain at once, so recorded
+	// cross-owner conflicts are moot.
+	fs.ownerConflicts = nil
 	fs.dirs = make(map[string]bool, len(s.dirs))
 	for d := range s.dirs {
 		fs.dirs[d] = true
@@ -242,6 +250,197 @@ func (fs *FS) CrashRestore(snap any) {
 	// died with the clock reset.
 	fs.cache = newCache(fs.cache.capacity)
 	fs.raOutstanding = 0
+}
+
+// fileExport is one file's durable (on-disk) image: identity, size and
+// the dirty blocks that differ from the deterministic pristine pattern.
+type fileExport struct {
+	Name   string
+	Size   int64
+	Owner  int64
+	Public bool
+	Dirty  map[int64][]byte
+}
+
+// fsExport is the file system's durable image. Directories ride along;
+// descriptors, the cache and read-ahead state are volatile and rebuilt
+// empty after import.
+type fsExport struct {
+	Files []fileExport
+	Dirs  []string
+}
+
+// CrashExport implements crash.Exporter.
+func (fs *FS) CrashExport() ([]byte, error) {
+	ex := &fsExport{}
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fs.files[n]
+		ex.Files = append(ex.Files, fileExport{
+			Name: f.Name, Size: f.Size, Owner: int64(f.Owner), Public: f.Public,
+			Dirty: copyDirty(f.dirty),
+		})
+	}
+	for d := range fs.dirs {
+		ex.Dirs = append(ex.Dirs, d)
+	}
+	sort.Strings(ex.Dirs)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(ex)
+	return buf.Bytes(), err
+}
+
+// CrashImport implements crash.Exporter: files are recreated through
+// the normal namespace path and their block contents injected. Meant
+// for a freshly built file system (the disk image stands in for the
+// machine that crashed).
+func (fs *FS) CrashImport(data []byte) error {
+	var ex fsExport
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ex); err != nil {
+		return err
+	}
+	for _, d := range ex.Dirs {
+		fs.dirs[d] = true
+	}
+	for _, fe := range ex.Files {
+		f := fs.Create(fe.Name, fe.Size, graft.UID(fe.Owner), fe.Public)
+		f.dirty = copyDirty(fe.Dirty)
+	}
+	return nil
+}
+
+func ownerName(o string) string {
+	if o == "" {
+		return "kernel"
+	}
+	return o
+}
+
+// CrashOwnerConflicts implements crash.DomainScoper: it reports blocks
+// where owner and another domain both wrote after sinceGen. Reverting
+// the offender's copy of such a block would also rewind the other
+// domain's completed write, so recovery must widen. Conflicts where
+// either write predates the checkpoint are moot — the older write is
+// already durable in the checkpoint image. The conflict log is
+// append-only between whole-kernel restores; at simulator scale the
+// unbounded growth is acceptable.
+func (fs *FS) CrashOwnerConflicts(sinceGen uint64, owner string) []string {
+	var out []string
+	for _, c := range fs.ownerConflicts {
+		if c.gen <= sinceGen || c.prevGen <= sinceGen {
+			continue
+		}
+		if c.owner != owner && c.prevOwner != owner {
+			continue
+		}
+		out = append(out, fmt.Sprintf("file %q block %d: %s overwrote %s",
+			c.file, c.block, ownerName(c.owner), ownerName(c.prevOwner)))
+	}
+	return out
+}
+
+// CrashRestoreDomain implements crash.DomainScoper: it reverts only the
+// blocks owner dirtied after sinceGen back to their content in snap (a
+// full consolidated image at that generation), and removes files owner
+// created after the checkpoint. Everything else — other owners' writes,
+// the shared descriptor table, counters, the untouched cache entries —
+// stays live.
+func (fs *FS) CrashRestoreDomain(owner string, snap any, sinceGen uint64) int64 {
+	s := snap.(*fsSnap)
+	var bytes int64
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fs.files[n]
+		if f.crashOwner == owner && owner != "" && f.genCreated > sinceGen {
+			// The offender created this file after the checkpoint: it
+			// vanishes wholesale, along with any descriptors onto it
+			// (which fail closed, as after a whole-kernel restore).
+			for _, blk := range f.dirty {
+				bytes += int64(len(blk))
+			}
+			for fd, of := range fs.fdTable {
+				if of.file == f {
+					of.closed = true
+					delete(fs.fdTable, fd)
+				}
+			}
+			for b := int64(0); b < f.Blocks(); b++ {
+				fs.cache.drop(f.start + b)
+			}
+			delete(fs.files, n)
+			continue
+		}
+		if len(f.dirtyOwner) == 0 {
+			continue
+		}
+		fsn := s.files[n]
+		blocks := make([]int64, 0, len(f.dirtyOwner))
+		for b, own := range f.dirtyOwner {
+			if own == owner && f.dirtyGen[b] > sinceGen {
+				blocks = append(blocks, b)
+			}
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		for _, b := range blocks {
+			if fsn != nil {
+				if blk, ok := fsn.dirty[b]; ok {
+					f.dirty[b] = append([]byte(nil), blk...)
+				} else {
+					delete(f.dirty, b)
+				}
+			} else {
+				// File absent from the checkpoint image (created after it
+				// by another domain): the offender's block reverts to
+				// pristine content.
+				delete(f.dirty, b)
+			}
+			delete(f.dirtyOwner, b)
+			delete(f.dirtyGen, b)
+			fs.cache.drop(f.start + b)
+			bytes += BlockSize
+		}
+	}
+	return bytes
+}
+
+// CrashAudit implements crash.Auditor: a read-only structural check
+// restricted to invariants that hold at any instant (Fsck's quiescence
+// checks — no read-ahead or fetches in flight — are deliberately
+// excluded, since checkpoints fire on a cadence with I/O logically
+// outstanding).
+func (fs *FS) CrashAudit() []string {
+	var bad []string
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fs.files[n]
+		for b, d := range f.dirty {
+			if b < 0 || b >= f.Blocks() {
+				bad = append(bad, fmt.Sprintf("file %q: dirty block %d outside file", n, b))
+			}
+			if len(d) != BlockSize {
+				bad = append(bad, fmt.Sprintf("file %q: dirty block %d has %d bytes", n, b, len(d)))
+			}
+		}
+	}
+	if fs.cache.lru.Len() != len(fs.cache.byLBA) {
+		bad = append(bad, fmt.Sprintf("cache: lru holds %d blocks, index %d", fs.cache.lru.Len(), len(fs.cache.byLBA)))
+	}
+	if fs.cache.lru.Len() > fs.cache.capacity {
+		bad = append(bad, fmt.Sprintf("cache: %d blocks resident, capacity %d", fs.cache.lru.Len(), fs.cache.capacity))
+	}
+	return bad
 }
 
 // Fsck audits the file system's structural invariants. It is meant to

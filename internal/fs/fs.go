@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"vino/internal/crash"
 	"vino/internal/graft"
 	"vino/internal/kernel"
 	"vino/internal/lock"
@@ -43,6 +44,21 @@ type FS struct {
 
 	openFileLockClass *lock.Class
 	stats             Stats
+
+	// ownerConflicts records cross-owner block overwrites for the
+	// rollback-domain widening check (see CrashOwnerConflicts). Cleared
+	// on whole-kernel restore; entries older than the surviving
+	// checkpoint are filtered at query time.
+	ownerConflicts []ownerConflict
+}
+
+// ownerConflict is one cross-owner overwrite of a dirty block: owner
+// wrote at gen over prevOwner's write at prevGen.
+type ownerConflict struct {
+	file             string
+	block            int64
+	prevGen, gen     uint64
+	prevOwner, owner string
 }
 
 // Stats aggregates file-system counters.
@@ -118,6 +134,13 @@ type File struct {
 	genCreated  uint64
 	dirtyGen    map[int64]uint64
 	maxDirtyGen uint64
+
+	// Rollback-domain owner stamps: the domain that created the file and
+	// the domain whose write last dirtied each block ("" is the shared
+	// base domain). A domain-scoped restore reverts only the offender's
+	// stamped blocks.
+	crashOwner string
+	dirtyOwner map[int64]string
 }
 
 // crashGen returns the crash manager's current generation for dirty
@@ -129,11 +152,20 @@ func (fs *FS) crashGen() uint64 {
 	return 0
 }
 
+// curOwner returns the rollback-domain owner stamped on the running
+// thread ("" outside graft dispatch, and outside Run).
+func (fs *FS) curOwner() string {
+	if fs.k == nil || fs.k.Sched == nil {
+		return ""
+	}
+	return crash.Owner(fs.k.Sched.Current())
+}
+
 // Create makes a file of the given size owned by owner. Content is
 // deterministic: byte i of block b is a function of (lba, i), so tests
 // can verify reads without storing the data.
 func (fs *FS) Create(name string, size int64, owner graft.UID, public bool) *File {
-	f := &File{Name: name, Size: size, Owner: owner, Public: public, start: fs.nextLBA, fs: fs, dirty: make(map[int64][]byte), genCreated: fs.crashGen()}
+	f := &File{Name: name, Size: size, Owner: owner, Public: public, start: fs.nextLBA, fs: fs, dirty: make(map[int64][]byte), genCreated: fs.crashGen(), crashOwner: fs.curOwner()}
 	fs.nextLBA += (size+BlockSize-1)/BlockSize + 16 // gap between files
 	fs.files[name] = f
 	return f
@@ -546,6 +578,18 @@ func (of *OpenFile) WriteAt(t *sched.Thread, data []byte, off int64) (int, error
 			if of.file.dirtyGen == nil {
 				of.file.dirtyGen = make(map[int64]uint64)
 			}
+			owner := of.fs.curOwner()
+			if prev, stamped := of.file.dirtyOwner[b]; stamped && prev != owner {
+				of.fs.ownerConflicts = append(of.fs.ownerConflicts, ownerConflict{
+					file: of.file.Name, block: b,
+					prevGen: of.file.dirtyGen[b], gen: g,
+					prevOwner: prev, owner: owner,
+				})
+			}
+			if of.file.dirtyOwner == nil {
+				of.file.dirtyOwner = make(map[int64]string)
+			}
+			of.file.dirtyOwner[b] = owner
 			of.file.dirtyGen[b] = g
 			if g > of.file.maxDirtyGen {
 				of.file.maxDirtyGen = g

@@ -541,6 +541,13 @@ func (r *Registry) invokeGraft(t *sched.Thread, g *Installed, probation bool, ar
 		g.curThread = t
 		defer func() { g.curThread = prevThread }()
 
+		// Kernel-state writes made on the graft's behalf — including the
+		// PreGraft hook and accessor calls — land in its rollback domain,
+		// so a scoped crash recovery can revert exactly this graft's
+		// damage. Dispatch nests, hence the save/restore.
+		prevOwner := crash.SetOwner(t, g.GuardKey())
+		defer crash.SetOwner(t, prevOwner)
+
 		if p.PreGraft != nil {
 			if err := p.PreGraft(t, tx, g, args); err != nil {
 				return err
@@ -599,6 +606,8 @@ func (r *Registry) invokeGraftUnprotected(t *sched.Thread, g *Installed, args []
 	prevThread := g.curThread
 	g.curThread = t
 	defer func() { g.curThread = prevThread }()
+	prevOwner := crash.SetOwner(t, g.GuardKey())
+	defer crash.SetOwner(t, prevOwner)
 	res, err = g.vm.Call(g.Entry, args...)
 	if err == nil && p.Validate != nil {
 		res, err = p.Validate(t, args, res)

@@ -98,6 +98,16 @@ type ChaosConfig struct {
 	// minimizer replays candidate plans under NoRecover to check that a
 	// shrunken plan still reproduces the same failure signature.
 	NoRecover bool
+	// RecoverScope selects what a contained panic rolls back:
+	// kernel.RecoverScopeKernel (default) restores the whole checkpoint;
+	// kernel.RecoverScopeGraft reverts only the offending graft's
+	// rollback domain, leaving other grafts' in-flight work live, and
+	// widens to a whole-kernel restore on cross-domain entanglement.
+	// Crash-free runs are byte-identical under either scope.
+	RecoverScope string
+	// CheckpointDir, when non-empty, persists the checkpoint ring to
+	// disk (see kernel.Config.CheckpointDir).
+	CheckpointDir string
 }
 
 func (cfg ChaosConfig) withDefaults() ChaosConfig {
@@ -167,6 +177,17 @@ type ChaosReport struct {
 	// contained kernel panics, completed recoveries and checkpoints
 	// taken (all zero unless the run was configured with Crash).
 	Panics, Recoveries, Checkpoints int64
+	// ScopedRecoveries and WidenedRecoveries break down recoveries under
+	// RecoverScope graft: domain-scoped restores completed, and scoped
+	// attempts that widened to a whole-kernel restore. RolledBackBytes
+	// is the state payload the scoped restores reverted.
+	ScopedRecoveries, WidenedRecoveries, RolledBackBytes int64
+	// NonOffenderSurvivals counts recovery rounds of the crash phase in
+	// which transactions committed after the round began were still on
+	// the books once recovery completed — work a whole-kernel rewind
+	// would have destroyed (always zero under kernel scope, where the
+	// counters rewind with the checkpoint).
+	NonOffenderSurvivals int64
 	// PanicsByClass buckets the contained panics by crash class.
 	PanicsByClass map[crash.Class]int64
 	// CrashedSites buckets fired panic injections by crash site.
@@ -251,6 +272,12 @@ func (r *ChaosReport) CounterSummary() string {
 		parts = append(parts, "none")
 	}
 	fmt.Fprintf(&b, "chaos: injections by class: %s\n", strings.Join(parts, " "))
+	// Rendered only when domain-scoped recovery actually ran, so
+	// crash-free runs stay byte-identical across recovery scopes.
+	if r.ScopedRecoveries > 0 || r.WidenedRecoveries > 0 || r.NonOffenderSurvivals > 0 {
+		fmt.Fprintf(&b, "chaos: recoveries scoped %d (%d bytes rolled back) / widened %d, survivor rounds %d\n",
+			r.ScopedRecoveries, r.RolledBackBytes, r.WidenedRecoveries, r.NonOffenderSurvivals)
+	}
 	return b.String()
 }
 
@@ -345,6 +372,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		kcfg.CheckpointEvery = cfg.CheckpointEvery
 		kcfg.CheckpointRing = cfg.CheckpointRing
 		kcfg.CheckpointFullCopy = cfg.CheckpointFullCopy
+		kcfg.RecoverScope = cfg.RecoverScope
+		kcfg.CheckpointDir = cfg.CheckpointDir
 	}
 	k := kernel.New(kcfg)
 	c := &chaosRun{cfg: cfg, k: k, report: &ChaosReport{Plan: plan}}
@@ -415,6 +444,8 @@ func (c *chaosRun) finishReport() {
 	if c.k.Crash != nil {
 		cs := c.k.Crash.Stats()
 		r.Panics, r.Recoveries, r.Checkpoints = cs.Panics, cs.Recoveries, cs.Checkpoints
+		r.ScopedRecoveries, r.WidenedRecoveries = cs.ScopedRecoveries, cs.WidenedRecoveries
+		r.RolledBackBytes = cs.RolledBackBytes
 		r.PanicsByClass = cs.ByClass
 	}
 	r.CrashedSites = c.k.Faults.CrashedBySite()

@@ -66,6 +66,11 @@ func (c *chaosRun) phaseCrash() error {
 			c.spawnCrashBad(i)
 		}
 		c.spawnCrashWork(i)
+		// Commits on the books before the round: under a whole-kernel
+		// restore the counter rewinds with the checkpoint, but a
+		// domain-scoped recovery leaves non-offender work live — commits
+		// still standing after a recovery round are survivors.
+		commitsBefore := k.Txns.Stats().Commits
 		if c.cfg.NoRecover {
 			done, err := c.runToFatal()
 			if done || err != nil {
@@ -77,6 +82,9 @@ func (c *chaosRun) phaseCrash() error {
 				return err
 			}
 			if recovered > 0 {
+				if c.cfg.RecoverScope == kernel.RecoverScopeGraft && k.Txns.Stats().Commits > commitsBefore {
+					c.report.NonOffenderSurvivals++
+				}
 				c.auditRecovery(fmt.Sprintf("crash round %d", i))
 			} else {
 				// A clean round is a quiescent point with fresh state:

@@ -6,6 +6,7 @@ import (
 
 	"vino/internal/crash"
 	"vino/internal/fault"
+	"vino/internal/kernel"
 )
 
 // Acceptance tests for the crash phase: kernel panics injected across
@@ -60,6 +61,75 @@ func TestCrashPhaseContainsPanics(t *testing.T) {
 	sum := r.Summary()
 	if !strings.Contains(sum, "kernel panics contained") || !strings.Contains(sum, "panics by class") {
 		t.Errorf("summary missing crash lines:\n%s", sum)
+	}
+}
+
+// TestCrashPhaseGraftScope is the rollback-domain acceptance run: the
+// same seed-7 campaign under RecoverScope "graft" must contain every
+// panic with a clean post-recovery audit, scope at least some
+// recoveries to the offender's domain (widening the rest), and leave
+// at least one non-offender transaction alive through a recovery.
+func TestCrashPhaseGraftScope(t *testing.T) {
+	cfg := crashCfg()
+	cfg.NCPU = 4
+	cfg.RecoverScope = kernel.RecoverScopeGraft
+	r, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Survived() {
+		t.Fatalf("graft-scope crash run did not survive: %v", r.Violations)
+	}
+	if r.Panics < 20 {
+		t.Errorf("panics = %d, want >= 20", r.Panics)
+	}
+	if r.Recoveries != r.Panics {
+		t.Errorf("recoveries = %d, panics = %d: every panic must be recovered", r.Recoveries, r.Panics)
+	}
+	if r.ScopedRecoveries == 0 {
+		t.Error("no recovery was domain-scoped")
+	}
+	if r.ScopedRecoveries+r.WidenedRecoveries != r.Recoveries {
+		t.Errorf("scoped %d + widened %d != recoveries %d",
+			r.ScopedRecoveries, r.WidenedRecoveries, r.Recoveries)
+	}
+	if r.NonOffenderSurvivals == 0 {
+		t.Error("no non-offender work survived any scoped recovery")
+	}
+	if s := r.CounterSummary(); !strings.Contains(s, "recoveries scoped") {
+		t.Errorf("counter summary missing the scoped-recovery line:\n%s", s)
+	}
+}
+
+// TestRecoverScopeCrashFreeByteIdentical: with an explicit plan and no
+// injected panics, the recovery scope is dead code — the two scopes
+// must produce byte-identical traces and summaries.
+func TestRecoverScopeCrashFreeByteIdentical(t *testing.T) {
+	base, err := RunChaos(ChaosConfig{Seed: 3, Iterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(scope string) *ChaosReport {
+		r, err := RunChaos(ChaosConfig{
+			Seed: 3, Iterations: 12, Crash: true,
+			Plan: base.Plan, RecoverScope: scope,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Panics != 0 {
+			t.Fatalf("scope %s: %d panics on a crash-free plan", scope, r.Panics)
+		}
+		return r
+	}
+	a := run(kernel.RecoverScopeKernel)
+	b := run(kernel.RecoverScopeGraft)
+	if a.TraceDump != b.TraceDump {
+		t.Error("crash-free trace dumps differ between recovery scopes")
+	}
+	if a.Summary() != b.Summary() || a.CounterSummary() != b.CounterSummary() {
+		t.Errorf("crash-free summaries differ between recovery scopes:\n%s%s\n---\n%s%s",
+			a.Summary(), a.CounterSummary(), b.Summary(), b.CounterSummary())
 	}
 }
 

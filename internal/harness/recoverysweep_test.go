@@ -1,0 +1,34 @@
+package harness
+
+import "testing"
+
+// TestRecoveryCostSweepScales pins the sweep's load-bearing claim on
+// the payload axis (wall-clock times are measured but too noisy to
+// assert): the whole-kernel restore rewinds the full image, growing
+// with the graft population, while the domain restore reverts only the
+// offender's stamped blocks — constant as the population grows.
+func TestRecoveryCostSweepScales(t *testing.T) {
+	pts, err := RecoveryCostSweep([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	one, four := pts[0], pts[1]
+	if four.GraftBytes >= four.KernelBytes {
+		t.Errorf("at 4 grafts: domain payload %d >= whole-kernel payload %d",
+			four.GraftBytes, four.KernelBytes)
+	}
+	if one.GraftBytes != four.GraftBytes {
+		t.Errorf("domain payload grew with the population: %d at 1 graft, %d at 4",
+			one.GraftBytes, four.GraftBytes)
+	}
+	if four.KernelBytes <= one.KernelBytes {
+		t.Errorf("whole-kernel payload did not grow with the population: %d at 1 graft, %d at 4",
+			one.KernelBytes, four.KernelBytes)
+	}
+	if one.GraftBytes == 0 {
+		t.Error("domain restore reverted zero bytes; owner stamping is not reaching the sweep's writes")
+	}
+}

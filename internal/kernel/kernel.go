@@ -7,8 +7,11 @@
 package kernel
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"vino/internal/crash"
@@ -79,7 +82,27 @@ type Config struct {
 	// checkpoint. Restored state and traces are byte-identical either
 	// way; the switch exists for cost comparison and regression A/Bs.
 	CheckpointFullCopy bool
+	// RecoverScope selects what a contained kernel panic rolls back:
+	// RecoverScopeKernel (the default, and the zero value) restores the
+	// whole checkpoint image and rewinds virtual time; RecoverScopeGraft
+	// reverts only the offending graft's rollback domain — its
+	// transactions, locks and owner-stamped fs/vmm state — leaving other
+	// grafts' in-flight work live, widening back to a whole-kernel
+	// restore when cross-domain entanglement is detected. Crash-free
+	// runs are byte-identical under either scope.
+	RecoverScope string
+	// CheckpointDir, when non-empty, persists the checkpoint ring to
+	// disk (one gob-encoded manifest per checkpoint, exponential-age
+	// compacted) so a crashed run can be restored across process
+	// restarts.
+	CheckpointDir string
 }
+
+// RecoverScope values for Config.RecoverScope.
+const (
+	RecoverScopeKernel = "kernel" // whole-kernel restore (default)
+	RecoverScopeGraft  = "graft"  // per-graft rollback domains
+)
 
 // Kernel is one simulated machine.
 type Kernel struct {
@@ -108,12 +131,13 @@ type Kernel struct {
 	// deterministic decisions from it.
 	Seed int64
 
-	log        []string
-	processes  map[string]*Process
-	nextPID    int
-	capLogLen  map[uint64]int // checkpoint generation -> log length at capture
-	delegation *delegationState
-	hoardLock  *lock.Lock
+	log          []string
+	processes    map[string]*Process
+	nextPID      int
+	capLogLen    map[uint64]int // checkpoint generation -> log length at capture
+	delegation   *delegationState
+	hoardLock    *lock.Lock
+	recoverScope string
 }
 
 // New builds a kernel.
@@ -167,10 +191,14 @@ func New(cfg Config) *Kernel {
 		k.Guard = guard.New(clock, tr, *cfg.GuardPolicy)
 		reg.Supervisor = k.Guard
 	}
+	k.recoverScope = cfg.RecoverScope
 	if cfg.CheckpointEvery > 0 {
 		k.Crash = crash.NewManager(clock, tr, cfg.CheckpointEvery)
 		k.Crash.SetRing(cfg.CheckpointRing)
 		k.Crash.SetIncremental(!cfg.CheckpointFullCopy)
+		if cfg.CheckpointDir != "" {
+			k.Crash.SetPersistDir(cfg.CheckpointDir)
+		}
 		// Dirty stamps for incremental capture.
 		locks.GenSource = k.Crash.Gen
 		reg.GenSource = k.Crash.Gen
@@ -323,6 +351,51 @@ func (k *Kernel) CrashRestore(snap any) {
 	}
 }
 
+// kernelExport is the kernel's durable (on-disk) checkpoint image: the
+// log and the pid counter. Processes and their resource accounts hold
+// live thread handles and are rebuilt by the workload after an import,
+// as after a reboot.
+type kernelExport struct {
+	Log     []string
+	NextPID int
+}
+
+// CrashExport implements crash.Exporter.
+func (k *Kernel) CrashExport() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&kernelExport{Log: k.log, NextPID: k.nextPID})
+	return buf.Bytes(), err
+}
+
+// CrashImport implements crash.Exporter.
+func (k *Kernel) CrashImport(data []byte) error {
+	var e kernelExport
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return err
+	}
+	k.log = e.Log
+	k.nextPID = e.NextPID
+	return nil
+}
+
+// RestoreFromDisk imports the newest persisted checkpoint (see
+// Config.CheckpointDir) into every exporting subsystem, rewinds the
+// clock to its virtual time, and seeds the in-memory ring with a fresh
+// capture of the imported state. Meant for a freshly built kernel: the
+// disk image stands in for the machine that crashed.
+func (k *Kernel) RestoreFromDisk() (time.Duration, error) {
+	if k.Crash == nil {
+		return 0, errors.New("kernel: checkpointing not configured")
+	}
+	at, err := k.Crash.RestoreFromDisk()
+	if err != nil {
+		return 0, err
+	}
+	k.Clock.Reset(at)
+	k.Crash.TakeCheckpoint()
+	return at, nil
+}
+
 // CheckpointIfDue takes a checkpoint when the configured cadence says
 // one is due. Call it at quiescent points (between Run rounds): the
 // simulated kernel cannot snapshot live goroutine stacks, so checkpoints
@@ -390,9 +463,25 @@ func (k *Kernel) recoverFromPanic(cp *crash.Panic) {
 	}
 	k.Crash.RecordPanic(cp.Class)
 	k.Trace.Emit(crashedAt, trace.KernelPanic, fmt.Sprintf("%s@%s", cp.Class, cp.Site), cp.Error())
+	// Audit evidence: when the panic carries no taint of its own but a
+	// ring entry captured an already-inconsistent image, the corruption
+	// predates that checkpoint and restore must roll past it.
+	if cp.TaintedAt == 0 {
+		if at, ok := k.Crash.EvidenceTaint(); ok {
+			cp.TaintedAt = at
+		}
+	}
+	// The offending thread must be read before TakePanic clears it.
+	dead := k.Sched.PanicThread()
 	// Run returns immediately while the panic is latched; clear it
 	// before Shutdown (which drives Run to drain the kill signals).
 	k.Sched.TakePanic()
+	if k.recoverScope == RecoverScopeGraft && k.recoverDomain(cp, dead, crashedAt) {
+		if wasArmed {
+			k.Faults.EnableCrash()
+		}
+		return
+	}
 	k.Sched.Shutdown()
 	// Delayed detection (non-zero TaintedAt) means checkpoints taken
 	// after the taint may already carry corrupt state: restore the
@@ -421,6 +510,69 @@ func (k *Kernel) recoverFromPanic(cp *crash.Panic) {
 	if wasArmed {
 		k.Faults.EnableCrash()
 	}
+}
+
+// recoverDomain attempts a domain-scoped recovery: roll back only the
+// offending graft's rollback domain — its in-flight transactions, held
+// locks and owner-stamped fs/vmm state — leaving every other thread's
+// work live and virtual time unrewound. It returns false (after tracing
+// recovery-widened) when a scoped rollback would be unsound, sending
+// the caller down the classic whole-kernel path. The widening checks
+// run before any state is touched, so widening composes with the
+// whole-kernel restore exactly as if scoping had never been attempted.
+func (k *Kernel) recoverDomain(cp *crash.Panic, dead *sched.Thread, crashedAt time.Duration) bool {
+	widen := func(reason string) bool {
+		k.Trace.Emit(crashedAt, trace.RecoveryWidened, fmt.Sprintf("%s@%s", cp.Class, cp.Site), reason)
+		k.Crash.RecordWidened()
+		return false
+	}
+	if cp.Graft == "" {
+		// A stall or a panic outside any graft dispatch has no domain to
+		// scope to.
+		return widen("no offending graft")
+	}
+	if cp.TaintedAt > 0 {
+		// Delayed detection: the damage predates the checkpoint a scoped
+		// restore would revert to, so scoping cannot excise it.
+		return widen(fmt.Sprintf("corruption predates checkpoint (tainted at %v)", cp.TaintedAt))
+	}
+	if dead == nil {
+		return widen("no offending thread")
+	}
+	if locks := k.Locks.Entangled(dead); len(locks) > 0 {
+		return widen("cross-graft lock held: " + strings.Join(locks, ", "))
+	}
+	if conflicts := k.Crash.DomainConflicts(cp.Graft); len(conflicts) > 0 {
+		return widen("cross-domain writes: " + strings.Join(conflicts, "; "))
+	}
+	// Sound to scope: unwind the offender's transaction stack (undo
+	// records run, its locks release), purge any remaining lock state of
+	// the dead thread, then revert its owner-stamped fs/vmm writes to
+	// the consolidated checkpoint image.
+	aborted := k.Txns.AbortOrphan(dead)
+	k.Locks.PurgeThread(dead)
+	at, bytes, ok := k.Crash.RestoreDomain(cp.Graft)
+	if !ok {
+		// Unreachable in practice: RunRecovered only recovers with a
+		// checkpoint in hand.
+		return widen("no checkpoint image")
+	}
+	// Blame: the same ledger axes as a whole-kernel recovery, plus the
+	// reverted payload. The offender is always removed — its heap died
+	// mid-dispatch and is not restored by a scoped rollback — but the
+	// guard ledger survives, so repeat offenders escalate across
+	// reinstalls exactly as before.
+	if k.Guard != nil {
+		k.Guard.RecordAbort(cp.Graft, txn.ClassifyPanicCause(cp.Class), 0)
+		k.Guard.RecordDomainRecovery(cp.Graft, crashedAt-at, bytes)
+	}
+	k.Grafts.RemoveGuardKey(cp.Graft)
+	k.Crash.RecordScopedRecovery(bytes)
+	k.Trace.Emit(at, trace.DomainCheckpoint, "crash",
+		fmt.Sprintf("consolidated base for %s", cp.Graft))
+	k.Trace.Emit(crashedAt, trace.DomainRestore, cp.Graft,
+		fmt.Sprintf("reverted %d bytes, %d txn levels, base %v behind", bytes, aborted, crashedAt-at))
+	return true
 }
 
 // Process is a user-level process: one kernel thread plus identity and

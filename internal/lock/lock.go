@@ -285,6 +285,45 @@ func (m *Manager) Outstanding() []string {
 // Idle reports whether no lock in the manager is held or waited on.
 func (m *Manager) Idle() bool { return len(m.Outstanding()) == 0 }
 
+// Entangled returns the names of every lock t holds that another
+// thread also holds or waits on. Domain-scoped crash recovery consults
+// it before rolling back only t's state: a conflicting party on one of
+// t's locks means the rollback's effects cross domain boundaries, and
+// recovery must widen to the whole kernel.
+func (m *Manager) Entangled(t *sched.Thread) []string {
+	var out []string
+	for _, l := range m.locks {
+		if l.holders[t] == nil {
+			continue
+		}
+		if len(l.holders) > 1 || len(l.waiters) > 0 {
+			out = append(out, l.name)
+		}
+	}
+	return out
+}
+
+// PurgeThread force-releases every hold and queued wait t still owns.
+// Domain-scoped crash recovery calls it for the dead offender after
+// its orphaned transactions are rolled back, so locks acquired outside
+// transaction registration (direct Acquire calls) cannot outlive the
+// thread. Releases go through the normal grant path, so surviving
+// waiters are woken.
+func (m *Manager) PurgeThread(t *sched.Thread) {
+	for _, l := range m.locks {
+		for _, w := range append([]*waiter(nil), l.waiters...) {
+			if w.req.Thread == t {
+				if w.hasTO {
+					m.clock.Cancel(w.timeout)
+					w.hasTO = false
+				}
+				l.removeWaiter(w)
+			}
+		}
+		l.ReleaseAll(t)
+	}
+}
+
 // Name returns the lock's diagnostic name.
 func (l *Lock) Name() string { return l.name }
 

@@ -219,6 +219,7 @@ type Scheduler struct {
 	contextSwitches int64
 	preemptions     int64
 	threadPanic     error
+	panicThread     *Thread
 }
 
 // cpuState is one simulated CPU: a FIFO run queue plus a local notion of
@@ -418,6 +419,7 @@ func (s *Scheduler) spawn(name string, cpu int, pinned bool, body func(*Thread))
 					} else {
 						t.s.threadPanic = fmt.Errorf("thread %q panicked: %v", t.name, r)
 					}
+					t.s.panicThread = t
 				}
 			}
 			t.state = StateDead
@@ -854,8 +856,15 @@ func (s *Scheduler) Shutdown() {
 func (s *Scheduler) TakePanic() error {
 	err := s.threadPanic
 	s.threadPanic = nil
+	s.panicThread = nil
 	return err
 }
+
+// PanicThread returns the (dead) thread whose panic is currently
+// recorded, or nil. Scoped crash recovery uses it to roll back only the
+// offender's transactions and locks; TakePanic clears it alongside the
+// panic itself, so callers must read it first.
+func (s *Scheduler) PanicThread() *Thread { return s.panicThread }
 
 // CrashReset rewinds the scheduler to a restored virtual-time frontier
 // after crash recovery: run queues are cleared (their threads died in
@@ -874,5 +883,6 @@ func (s *Scheduler) CrashReset(to time.Duration) {
 		c.now = to
 	}
 	s.threadPanic = nil
+	s.panicThread = nil
 	s.current = nil
 }

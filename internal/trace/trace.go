@@ -43,6 +43,14 @@ const (
 	Checkpoint  Kind = "checkpoint"
 	Recovery    Kind = "recovery"
 	Deadlock    Kind = "deadlock"
+	// Per-graft rollback domains: a scoped recovery consolidates the
+	// checkpoint ring into a domain-restore base (domain-checkpoint),
+	// reverts only the offender's owner-stamped state (domain-restore),
+	// or detects cross-domain entanglement and falls back to the
+	// whole-kernel restore (recovery-widened).
+	DomainCheckpoint Kind = "domain-checkpoint"
+	DomainRestore    Kind = "domain-restore"
+	RecoveryWidened  Kind = "recovery-widened"
 )
 
 // Event is one recorded occurrence.

@@ -20,6 +20,8 @@
 package txn
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"time"
@@ -180,6 +182,31 @@ func (m *Manager) CrashRestore(snap any) {
 	s := snap.(*txnSnap)
 	m.stats = s.stats
 	m.lastAbort = s.lastAbort
+}
+
+// txnExport is the durable (on-disk) image: the counters and the last
+// abort instant, gob-encoded.
+type txnExport struct {
+	Stats     Stats
+	LastAbort time.Duration
+}
+
+// CrashExport implements crash.Exporter.
+func (m *Manager) CrashExport() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&txnExport{Stats: m.stats, LastAbort: m.lastAbort})
+	return buf.Bytes(), err
+}
+
+// CrashImport implements crash.Exporter.
+func (m *Manager) CrashImport(data []byte) error {
+	var e txnExport
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return err
+	}
+	m.stats = e.Stats
+	m.lastAbort = e.LastAbort
+	return nil
 }
 
 // CrashDelta implements crash.DeltaSnapshotter as the sanctioned
@@ -425,6 +452,45 @@ func (tx *Txn) releaseLocks() {
 		_ = l.Release(tx.thread)
 	}
 	tx.locks = nil
+}
+
+// AbortOrphan rolls back the chain of transactions left Active on a
+// thread that died in a contained kernel panic, innermost first.
+// Domain-scoped crash recovery calls it instead of restoring a
+// whole-kernel checkpoint: the undo stacks revert exactly the
+// offender's uncommitted kernel mutations, registered locks are
+// released, and the books stay balanced (one Abort per orphaned
+// Begin). Unlike Txn.Abort it runs on the scheduler side against a
+// dead thread, so it charges no CPU, arms no crash sites, and releases
+// locks directly (Release's charge path is current-thread-gated).
+// Per-undo panics are contained exactly as in Abort. Returns the
+// number of transaction levels aborted.
+func (m *Manager) AbortOrphan(t *sched.Thread) int {
+	n := 0
+	for tx := m.Current(t); tx != nil; tx = tx.parent {
+		if tx.state != Active {
+			continue
+		}
+		n++
+		m.stats.Aborts++
+		tx.state = Aborted
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			m.stats.UndosRun++
+			// Kill and crash values cannot unwind anything here — the
+			// thread is already dead and the crash gate is closed during
+			// recovery — so whatever runUndo hands back is dropped.
+			_ = tx.runUndo(tx.undo[i])
+		}
+		tx.undo = nil
+		tx.onCommit = nil
+		for i := len(tx.locks) - 1; i >= 0; i-- {
+			m.stats.LocksFreed++
+			_ = tx.locks[i].Release(t)
+		}
+		tx.locks = nil
+	}
+	t.SetLocal(localKey, nil)
+	return n
 }
 
 func (m *Manager) setCurrent(t *sched.Thread, tx *Txn) {

@@ -62,6 +62,20 @@ type VMM struct {
 	spaces           map[int]*VAS
 	nextVAS          int
 	stats            Stats
+
+	// ownerConflicts records cross-owner page stores for the
+	// rollback-domain widening check (see CrashOwnerConflicts). Cleared
+	// on whole-kernel restore.
+	ownerConflicts []ownerConflict
+}
+
+// ownerConflict is one cross-owner store to a page: owner wrote at gen
+// over prevOwner's store at prevGen.
+type ownerConflict struct {
+	vasID            int
+	vpn              int64
+	prevGen, gen     uint64
+	prevOwner, owner string
 }
 
 // Stats counts VM events machine-wide.
@@ -119,6 +133,12 @@ type Page struct {
 	// modGen is the crash-manager generation of the page's last flag
 	// change, so an incremental checkpoint copies only touched pages.
 	modGen uint64
+
+	// Rollback-domain owner stamp: the domain whose store last dirtied
+	// the page, and the generation of that store. Reads do not stamp —
+	// domain recovery reverts only the offender's writes.
+	owner    string
+	writeGen uint64
 }
 
 // crashGen returns the crash manager's current generation for dirty
@@ -169,6 +189,10 @@ type VAS struct {
 	genCreated uint64
 	modGen     uint64
 
+	// crashOwner is the rollback domain that created the space ("" for
+	// the shared base domain).
+	crashOwner string
+
 	// Per-space stats.
 	Faults    int64
 	Evictions int64
@@ -192,6 +216,7 @@ func (v *VMM) NewVAS(t *sched.Thread) *VAS {
 		vmm:        v,
 		pages:      make(map[int64]*Page),
 		genCreated: v.crashGen(),
+		crashOwner: crash.Owner(t),
 	}
 	vas.listLock = v.k.Locks.NewLock(fmt.Sprintf("vas/%d.pagelist", v.nextVAS), pageListClass)
 	vas.evictPoint = v.k.Grafts.RegisterPoint(&graft.Point{
@@ -352,10 +377,25 @@ func (vas *VAS) TouchErr(t *sched.Thread, vpn int64) error {
 }
 
 // TouchWrite is Touch for a store: the page is additionally marked
-// dirty, so its eventual eviction pays a write-back.
+// dirty, so its eventual eviction pays a write-back. Stores also carry
+// the rollback-domain owner stamp; a store over another live domain's
+// post-checkpoint store is recorded as a cross-owner conflict.
 func (vas *VAS) TouchWrite(t *sched.Thread, vpn int64) {
 	vas.Touch(t, vpn)
-	vas.Page(vpn).dirty = true
+	p := vas.Page(vpn)
+	p.dirty = true
+	if g := vas.vmm.crashGen(); g != 0 {
+		owner := crash.Owner(t)
+		if p.writeGen != 0 && p.owner != owner {
+			vas.vmm.ownerConflicts = append(vas.vmm.ownerConflicts, ownerConflict{
+				vasID: vas.id, vpn: vpn,
+				prevGen: p.writeGen, gen: g,
+				prevOwner: p.owner, owner: owner,
+			})
+		}
+		p.owner = owner
+		p.writeGen = g
+	}
 }
 
 // Wire pins a page in memory (it must be resident), charging the wired
