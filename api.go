@@ -6,6 +6,7 @@ import (
 	"vino/internal/campaign"
 	"vino/internal/crash"
 	"vino/internal/fault"
+	"vino/internal/fleet"
 	"vino/internal/graft"
 	"vino/internal/guard"
 	"vino/internal/harness"
@@ -15,6 +16,7 @@ import (
 	"vino/internal/resource"
 	"vino/internal/sched"
 	"vino/internal/sfi"
+	"vino/internal/tenant"
 	"vino/internal/trace"
 	"vino/internal/txn"
 )
@@ -97,6 +99,18 @@ func WithCPUs(n int) Option {
 // Kernel.Guard.Report().
 func WithGuardPolicy(p GuardPolicy) Option {
 	return func(c *Config) { c.GuardPolicy = &p }
+}
+
+// WithTenants arms the multi-tenant layer: the kernel carries a tenant
+// registry (Kernel.Tenants) binding graft installs to tenant
+// identities, each with its own resource account — swapped in on
+// dispatch, so one tenant exhausting sockets or kernel heap cannot
+// starve another — and an escalation ladder of its own: a tenant whose
+// grafts keep getting expelled is throttled, then banned. Zero policy
+// fields take the defaults (throttle on the first expulsion, ban on
+// the second).
+func WithTenants(p TenantPolicy) Option {
+	return func(c *Config) { c.TenantPolicy = &p }
 }
 
 // WithCheckpoints arms kernel-panic containment: the kernel checkpoints
@@ -631,3 +645,61 @@ func RunCampaign(cfg CampaignConfig) (*CampaignReport, error) { return campaign.
 // LoadCampaignCorpus reads a WriteCorpus directory back as entries,
 // sorted by file name — how CI replays the checked-in reproducers.
 func LoadCampaignCorpus(dir string) ([]*CampaignEntry, error) { return campaign.LoadCorpus(dir) }
+
+// -----------------------------------------------------------------------------
+// Multi-tenant fleet: tenant isolation, traffic simulation, self-healing.
+// -----------------------------------------------------------------------------
+
+// TenantPolicy sets the tenant escalation thresholds and the resource
+// grant every tenant account starts with.
+type TenantPolicy = tenant.Policy
+
+// DefaultTenantPolicy throttles a tenant on its first graft expulsion
+// and bans it on the second.
+func DefaultTenantPolicy() TenantPolicy { return tenant.DefaultPolicy() }
+
+// TenantRegistry binds graft installs to tenant identities and walks
+// the escalation ladder (Kernel.Tenants when built WithTenants).
+type TenantRegistry = tenant.Registry
+
+// Tenant is one extension author: identity, shared resource account,
+// standing.
+type Tenant = tenant.Tenant
+
+// TenantState is a tenant's standing on the escalation ladder.
+type TenantState = tenant.State
+
+// Tenant escalation states.
+const (
+	TenantActive    = tenant.Active
+	TenantThrottled = tenant.Throttled
+	TenantBanned    = tenant.Banned
+)
+
+// TenantHealth is one row of the per-tenant health table.
+type TenantHealth = tenant.Health
+
+// TenantTable renders the per-tenant health table.
+func TenantTable(rows []TenantHealth) string { return tenant.Table(rows) }
+
+// FleetConfig parameterises a multi-instance fleet run: a synthetic
+// open-loop HTTP-style workload sharded across independent kernel
+// instances, each with its own durable checkpoint ring, tenant
+// registry and (optionally) crash-fault plan.
+type FleetConfig = fleet.Config
+
+// FleetResult is the merged fleet outcome; Summary() renders the
+// per-instance and per-tenant tables plus the audit verdict.
+type FleetResult = fleet.Result
+
+// FleetInstanceResult is one instance's accounting.
+type FleetInstanceResult = fleet.InstanceResult
+
+// RunFleet executes a fleet and merges per-instance results in
+// instance order. The report is byte-identical at any worker-pool
+// size for a fixed (seed, instances, tenants) configuration.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) { return fleet.Run(cfg) }
+
+// DefaultFleetTenantLimits is the per-tenant resource grant a fleet
+// run starts from when none is configured.
+func DefaultFleetTenantLimits() map[ResourceKind]int64 { return fleet.DefaultTenantLimits() }

@@ -15,6 +15,8 @@
 //	vinobench -sweep recovery      # whole-kernel vs per-graft domain recovery cost
 //	vinobench -sweep campaign      # chaos-campaign runs/sec vs worker-pool size
 //	vinobench -sweep campaign -workers 8 -runs 64
+//	vinobench -sweep fleet         # fleet requests/sec vs instance and tenant count
+//	vinobench -sweep fleet -instances 4 -tenants 4
 //	vinobench -ablation lock  # Figures 4/5 policy-encapsulation cost
 //	vinobench -ablation sfidensity
 //	vinobench -check          # semantic cross-checks (SFI-rewrite equivalence)
@@ -26,18 +28,21 @@ import (
 	"os"
 
 	"vino/internal/campaign"
+	"vino/internal/fleet"
 	"vino/internal/harness"
 )
 
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	table := flag.Int("table", 0, "reproduce one paper table (3-7)")
-	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint | recovery | campaign")
+	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint | recovery | campaign | fleet")
 	ablation := flag.String("ablation", "", "design-choice ablation: lock | sfidensity | misfitopt | txn")
 	check := flag.Bool("check", false, "run semantic cross-checks")
 	ncpu := flag.Int("ncpu", 4, "smp sweep: largest simulated CPU count (sweeps powers of two up to it)")
 	workers := flag.Int("workers", 8, "campaign sweep: largest worker-pool size (sweeps powers of two up to it)")
 	runs := flag.Int("runs", 64, "campaign sweep: run budget per point")
+	instances := flag.Int("instances", 4, "fleet sweep: largest instance count (sweeps powers of two up to it)")
+	fleetTenants := flag.Int("tenants", 4, "fleet sweep: largest tenant count (sweeps powers of two up to it)")
 	flag.Parse()
 
 	smpCounts := func() []int {
@@ -155,6 +160,22 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(campaign.FormatThroughputSweep(pts))
+		case "fleet":
+			pow2 := func(max int) []int {
+				var out []int
+				for n := 1; n <= max; n *= 2 {
+					out = append(out, n)
+				}
+				if len(out) == 0 {
+					out = []int{1}
+				}
+				return out
+			}
+			pts, err := fleet.ThroughputSweep(1, pow2(*instances), pow2(*fleetTenants))
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(fleet.FormatThroughputSweep(pts))
 		default:
 			fail(fmt.Errorf("unknown sweep %q", name))
 		}

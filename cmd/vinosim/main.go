@@ -15,6 +15,9 @@
 //	                                   # delta-debug a failing plan to a minimal reproducer
 //	vinosim campaign -seed=1 -runs=256 -shards=8 -corpus=corpus/
 //	                                   # coverage-guided chaos fuzzing campaign
+//	vinosim fleet -seed=7 -instances=2 # multi-tenant fleet: traffic, crash
+//	                                   # faults, instance replacement, tenant
+//	                                   # escalation, fleet-level audit
 //
 // The pre-subcommand flat-flag form (vinosim -chaos -seed=7 ...) still
 // works but is deprecated: it maps onto the subcommands above and
@@ -44,6 +47,8 @@ func main() {
 		os.Exit(cmdMinimize(args[1:]))
 	case "campaign":
 		os.Exit(cmdCampaign(args[1:]))
+	case "fleet":
+		os.Exit(cmdFleet(args[1:]))
 	case "help", "-h", "--help", "-help":
 		usage(os.Stdout)
 		return
@@ -65,6 +70,7 @@ Commands:
   crash      chaos with the crash phase armed (panic containment & recovery)
   minimize   delta-debug a failing fault plan to a minimal reproducer
   campaign   coverage-guided chaos fuzzing campaign
+  fleet      multi-tenant fleet: tenant isolation, self-healing instances
 
 Run 'vinosim <command> -h' for that command's flags.
 `)

@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SweepPoint is one fleet-throughput measurement: the configuration
+// axis values, the request partition, and the wall-clock rate. Served
+// counts only requests a handler committed a response for, so the
+// abusive rows show the cost of carrying a misbehaving tenant — its
+// arrivals inflate the denominator while shed and failed absorb them.
+type SweepPoint struct {
+	Instances, Tenants int
+	Abusive            bool
+	Arrivals           int64
+	Served, Shed       int64
+	Failed             int64
+	Wall               time.Duration
+	ReqPerSec          float64
+	ServedPerSec       float64
+	Clean              bool
+}
+
+// ThroughputSweep measures fleet requests/sec along two axes — instance
+// count (tenants fixed at 2) and tenant count (instances fixed at 2) —
+// each with and without the abusive tenant. The simulated clock makes
+// the per-point reports deterministic; only the wall-clock rates vary
+// between hosts. Crash faults stay armed so the rates include the cost
+// of containment, recovery, and instance replacement.
+func ThroughputSweep(seed int64, instanceCounts, tenantCounts []int) ([]SweepPoint, error) {
+	if len(instanceCounts) == 0 {
+		instanceCounts = []int{1, 2, 4}
+	}
+	if len(tenantCounts) == 0 {
+		tenantCounts = []int{1, 2, 4}
+	}
+	var pts []SweepPoint
+	measure := func(instances, tenants int, abusive bool) error {
+		start := time.Now()
+		res, err := Run(Config{
+			Seed:        seed,
+			Instances:   instances,
+			Tenants:     tenants,
+			Abusive:     abusive,
+			CrashFaults: true,
+			Workers:     instances, // rates, not determinism: let the pool rip
+		})
+		if err != nil {
+			return fmt.Errorf("fleet sweep instances=%d tenants=%d abusive=%v: %w",
+				instances, tenants, abusive, err)
+		}
+		p := SweepPoint{
+			Instances: instances,
+			Tenants:   tenants,
+			Abusive:   abusive,
+			Arrivals:  res.Arrivals,
+			Served:    res.Served,
+			Shed:      res.Shed,
+			Failed:    res.Failed,
+			Wall:      time.Since(start),
+			Clean:     res.Clean(),
+		}
+		if s := p.Wall.Seconds(); s > 0 {
+			p.ReqPerSec = float64(p.Arrivals) / s
+			p.ServedPerSec = float64(p.Served) / s
+		}
+		pts = append(pts, p)
+		return nil
+	}
+	for _, n := range instanceCounts {
+		for _, abusive := range []bool{false, true} {
+			if err := measure(n, 2, abusive); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, n := range tenantCounts {
+		for _, abusive := range []bool{false, true} {
+			if err := measure(2, n, abusive); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pts, nil
+}
+
+// FormatThroughputSweep renders the sweep as a vinobench table.
+func FormatThroughputSweep(pts []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("Fleet throughput vs instance count and tenant count (crash faults armed)\n")
+	fmt.Fprintf(&b, "%5s %7s %7s %8s %6s %6s %6s %9s %10s %6s\n",
+		"inst", "tenants", "abusive", "arrivals", "served", "shed", "failed", "req/sec", "served/sec", "audit")
+	for _, p := range pts {
+		audit := "clean"
+		if !p.Clean {
+			audit = "FAIL"
+		}
+		fmt.Fprintf(&b, "%5d %7d %7v %8d %6d %6d %6d %9.0f %10.0f %6s\n",
+			p.Instances, p.Tenants, p.Abusive, p.Arrivals, p.Served, p.Shed, p.Failed,
+			p.ReqPerSec, p.ServedPerSec, audit)
+	}
+	return b.String()
+}

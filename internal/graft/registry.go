@@ -1,6 +1,8 @@
 package graft
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"sort"
@@ -76,8 +78,18 @@ type Registry struct {
 	callables map[string]Callable
 	points    map[string]*Point
 	installed map[*Installed]bool
-	modGen    uint64 // generation of the last membership change
-	stats     Stats
+	// pending holds durable-checkpoint graft imports whose points did
+	// not exist yet at import time; RegisterPoint flushes matches as the
+	// owning subsystems re-create their points.
+	pending []*pendingGraft
+	// meterAccounts is every resource account ever bound to an install
+	// (never pruned — tenant accounts outlive individual grafts). The
+	// Meters snapshotter checkpoints and rewinds these balances so a
+	// whole-kernel restore cannot strand a physical charge whose undo
+	// or teardown the panic destroyed.
+	meterAccounts map[*resource.Account]bool
+	modGen        uint64 // generation of the last membership change
+	stats         Stats
 }
 
 // stampMembership marks the point/install membership as modified in
@@ -149,6 +161,7 @@ func (r *Registry) RegisterPoint(p *Point) *Point {
 	p.reg = r
 	r.points[p.Name] = p
 	r.stampMembership()
+	r.flushPending(p)
 	return p
 }
 
@@ -205,6 +218,13 @@ type InstallOptions struct {
 	// honoured for Root and only when the registry's UnsafeAllowed is
 	// set. Measurement harness use only.
 	AllowUnsafe bool
+	// Account, when set, becomes the graft's resource account instead of
+	// a fresh zero-limit one. Multi-tenant installs bind every graft a
+	// tenant owns to the tenant's own account, so the dispatch-time
+	// account swap charges the tenant directly and exhaustion is scoped
+	// to the tenant, not the graft. Transfer still moves limits from the
+	// installer into this account.
+	Account *resource.Account
 }
 
 // Install loads an image at the named graft point on behalf of the
@@ -261,11 +281,15 @@ func (r *Registry) Install(t *sched.Thread, pointName string, img *sfi.Image, op
 		return nil, fmt.Errorf("%w: %q", ErrOccupied, pointName)
 	}
 
+	acct := opts.Account
+	if acct == nil {
+		acct = resource.NewAccount(fmt.Sprintf("graft:%s@%s", img.Name, pointName))
+	}
 	g := &Installed{
 		Image:   img,
 		Entry:   entry,
 		Owner:   uid,
-		Account: resource.NewAccount(fmt.Sprintf("graft:%s@%s", img.Name, pointName)),
+		Account: acct,
 		Point:   p,
 		Order:   opts.Order,
 	}
@@ -293,16 +317,30 @@ func (r *Registry) Install(t *sched.Thread, pointName string, img *sfi.Image, op
 		}
 	}
 
-	// Dynamic linking: every imported symbol must be on the
-	// graft-callable list (rules 4 and 7 checked at link time).
+	if err := r.link(g); err != nil {
+		r.stats.InstallRejects++
+		return nil, err
+	}
+
+	r.attach(g)
+	r.stats.Installs++
+	r.emit(trace.GraftInstall, pointName, fmt.Sprintf("image %q by uid %d", img.Name, uid))
+	return g, nil
+}
+
+// link resolves the image's imports against the graft-callable list
+// (rules 4 and 7 checked at link time) and builds the sandbox VM.
+// Shared by Install and the durable-checkpoint importer.
+func (r *Registry) link(g *Installed) error {
+	img := g.Image
 	kernelFns := make(map[string]sfi.KernelFunc, len(img.Symbols))
 	for _, sym := range img.Symbols {
 		fn, ok := r.callables[sym]
 		if !ok {
 			r.stats.LinkFails++
-			r.stats.InstallRejects++
-			return nil, fmt.Errorf("%w: %q", ErrNotCallable, sym)
+			return fmt.Errorf("%w: %q", ErrNotCallable, sym)
 		}
+		sym := sym
 		kernelFns[sym] = func(vm *sfi.VM, args [5]int64) (int64, error) {
 			ctx := &Ctx{Thread: g.curThread, Txn: r.txns.Current(g.curThread), Graft: g, VM: vm}
 			res, err := fn(ctx, args)
@@ -324,11 +362,15 @@ func (r *Registry) Install(t *sched.Thread, pointName string, img *sfi.Image, op
 		},
 	})
 	if err != nil {
-		r.stats.InstallRejects++
-		return nil, err
+		return err
 	}
 	g.vm = vm
+	return nil
+}
 
+// attach wires a linked graft into its point and the installed set.
+func (r *Registry) attach(g *Installed) {
+	p := g.Point
 	switch p.Kind {
 	case Function:
 		p.grafted = g
@@ -337,10 +379,11 @@ func (r *Registry) Install(t *sched.Thread, pointName string, img *sfi.Image, op
 		sort.SliceStable(p.handlers, func(i, j int) bool { return p.handlers[i].Order < p.handlers[j].Order })
 	}
 	r.installed[g] = true
+	if r.meterAccounts == nil {
+		r.meterAccounts = make(map[*resource.Account]bool)
+	}
+	r.meterAccounts[g.Account] = true
 	r.stampMembership()
-	r.stats.Installs++
-	r.emit(trace.GraftInstall, pointName, fmt.Sprintf("image %q by uid %d", img.Name, uid))
-	return g, nil
 }
 
 // Remove detaches a graft voluntarily (application teardown).
@@ -699,6 +742,220 @@ func (r *Registry) CrashDelta(sinceGen uint64) any {
 // CrashMerge implements crash.DeltaSnapshotter: a non-nil delta is a
 // full image and replaces the base.
 func (r *Registry) CrashMerge(base, delta any) any { return delta }
+
+// graftRecord is one installed graft's durable image: the signed image
+// bytes, its binding (point, entry, owner, order) and its resource
+// account's identity and limits. Usage is not exported — checkpoints
+// persist at quiescent points where the fleet driver has reaped every
+// outstanding charge, and a rebooted graft starts with a clean meter.
+// A BillTo redirection is identity to a process account that died with
+// the machine and is dropped.
+type graftRecord struct {
+	Point   string
+	Image   []byte
+	Unsafe  bool
+	Entry   string
+	Owner   int64
+	Order   int
+	Account string
+	Limits  map[resource.Kind]int64
+}
+
+// registryExport is the graft registry's durable image.
+type registryExport struct {
+	Grafts []graftRecord
+}
+
+// pendingGraft is a decoded graft import waiting for its point to be
+// re-registered by the owning subsystem.
+type pendingGraft struct {
+	point string
+	img   *sfi.Image
+	entry string
+	owner UID
+	order int
+	acct  *resource.Account
+}
+
+// CrashExport implements crash.Exporter: every installed graft is
+// serialised with its signed image, in deterministic (point, order,
+// image) order.
+func (r *Registry) CrashExport() ([]byte, error) {
+	grafts := make([]*Installed, 0, len(r.installed))
+	for g := range r.installed {
+		grafts = append(grafts, g)
+	}
+	sort.Slice(grafts, func(i, j int) bool {
+		a, b := grafts[i], grafts[j]
+		if a.Point.Name != b.Point.Name {
+			return a.Point.Name < b.Point.Name
+		}
+		if a.Order != b.Order {
+			return a.Order < b.Order
+		}
+		return a.Image.Name < b.Image.Name
+	})
+	ex := &registryExport{}
+	for _, g := range grafts {
+		rec := graftRecord{
+			Point:   g.Point.Name,
+			Entry:   g.Entry,
+			Owner:   int64(g.Owner),
+			Order:   g.Order,
+			Account: g.Account.Name(),
+			Limits:  make(map[resource.Kind]int64),
+		}
+		if g.Image.Safe {
+			rec.Image = g.Image.EncodeSigned()
+		} else {
+			rec.Image = g.Image.Encode()
+			rec.Unsafe = true
+		}
+		for _, kind := range g.Account.Kinds() {
+			if n := g.Account.Limit(kind); n != 0 {
+				rec.Limits[kind] = n
+			}
+		}
+		ex.Grafts = append(ex.Grafts, rec)
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(ex)
+	return buf.Bytes(), err
+}
+
+// CrashImport implements crash.Exporter. Each record's image is decoded
+// and its signature re-verified exactly as at first install. Grafts
+// whose points already exist (registered by subsystems that initialise
+// before the import) are re-linked immediately; the rest wait on the
+// pending list until RegisterPoint re-creates their point — the fs,
+// vmm and netstk importers run after this one and re-register points
+// through their normal creation paths, flushing the matches. Grafts
+// that share a resource account (a tenant's) share it again after
+// import.
+func (r *Registry) CrashImport(data []byte) error {
+	var ex registryExport
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ex); err != nil {
+		return err
+	}
+	accts := make(map[string]*resource.Account)
+	for _, rec := range ex.Grafts {
+		var img *sfi.Image
+		var err error
+		if rec.Unsafe {
+			if !r.UnsafeAllowed {
+				r.stats.InstallRejects++
+				continue
+			}
+			img, err = sfi.Decode(rec.Image)
+		} else {
+			img, err = sfi.DecodeSigned(rec.Image)
+		}
+		if err != nil {
+			return fmt.Errorf("graft: import %q at %q: %w", rec.Account, rec.Point, err)
+		}
+		if !rec.Unsafe {
+			if !r.signer.Verify(img) {
+				r.stats.SignatureFails++
+				r.stats.InstallRejects++
+				continue
+			}
+			if err := sfi.Verify(img); err != nil {
+				r.stats.InstallRejects++
+				continue
+			}
+		}
+		acct, ok := accts[rec.Account]
+		if !ok {
+			acct = resource.NewAccount(rec.Account)
+			for kind, n := range rec.Limits {
+				acct.SetLimit(kind, n)
+			}
+			accts[rec.Account] = acct
+		}
+		pg := &pendingGraft{
+			point: rec.Point,
+			img:   img,
+			entry: rec.Entry,
+			owner: UID(rec.Owner),
+			order: rec.Order,
+			acct:  acct,
+		}
+		if p, ok := r.points[pg.point]; ok {
+			r.importInstall(p, pg)
+		} else {
+			r.pending = append(r.pending, pg)
+		}
+	}
+	return nil
+}
+
+// importInstall re-links one imported graft at its (re-created) point.
+// A graft that no longer links — a callable absent from this kernel, or
+// a supervisor bar carried over — is dropped, exactly as a reboot drops
+// an extension whose kernel interface vanished.
+func (r *Registry) importInstall(p *Point, pg *pendingGraft) {
+	if sup := r.Supervisor; sup != nil && sup.Barred(guardKey(p.Name, pg.img.Name)) {
+		r.stats.InstallRejects++
+		return
+	}
+	if p.Kind == Function && p.grafted != nil {
+		r.stats.InstallRejects++
+		return
+	}
+	g := &Installed{
+		Image:   pg.img,
+		Entry:   pg.entry,
+		Owner:   pg.owner,
+		Account: pg.acct,
+		Point:   p,
+		Order:   pg.order,
+	}
+	if err := r.link(g); err != nil {
+		r.stats.InstallRejects++
+		return
+	}
+	r.attach(g)
+	r.stats.Installs++
+	r.emit(trace.GraftInstall, p.Name, fmt.Sprintf("restored image %q by uid %d", pg.img.Name, pg.owner))
+}
+
+// flushPending installs every pending graft import waiting on the
+// just-registered point, preserving export order.
+func (r *Registry) flushPending(p *Point) {
+	if len(r.pending) == 0 {
+		return
+	}
+	var rest []*pendingGraft
+	for _, pg := range r.pending {
+		if pg.point == p.Name {
+			r.importInstall(p, pg)
+		} else {
+			rest = append(rest, pg)
+		}
+	}
+	r.pending = rest
+}
+
+// RebindAccount points every installed graft whose resource account
+// carries the given name at acct instead, returning how many grafts
+// were rebound. After a durable restore the importer has given restored
+// grafts fresh account objects; the tenant layer uses this to splice
+// its own live account back in, so tenant-level enforcement continues
+// across an instance replacement.
+func (r *Registry) RebindAccount(name string, acct *resource.Account) int {
+	n := 0
+	for g := range r.installed {
+		if g.Account.Name() == name && g.Account != acct {
+			g.Account = acct
+			if r.meterAccounts == nil {
+				r.meterAccounts = make(map[*resource.Account]bool)
+			}
+			r.meterAccounts[acct] = true
+			n++
+		}
+	}
+	return n
+}
 
 // Trigger fires an event point: for each installed handler, in order, a
 // worker thread is spawned that runs the handler inside a transaction

@@ -23,6 +23,7 @@ import (
 	"vino/internal/sched"
 	"vino/internal/sfi"
 	"vino/internal/simclock"
+	"vino/internal/tenant"
 	"vino/internal/trace"
 	"vino/internal/txn"
 )
@@ -66,6 +67,11 @@ type Config struct {
 	// removed on the first abort. Nil keeps the classic remove-on-abort
 	// behaviour (and byte-identical traces for existing seeds).
 	GuardPolicy *guard.Policy
+	// TenantPolicy, when non-nil, arms the multi-tenant layer: the
+	// kernel carries a tenant.Registry binding graft installs to tenant
+	// identities, each with its own resource account and escalation
+	// standing. Nil keeps the kernel tenant-free (and byte-identical).
+	TenantPolicy *tenant.Policy
 	// CheckpointEvery, when positive, arms crash containment: the kernel
 	// checkpoints its recoverable state at this virtual-time cadence and
 	// RunRecovered restores the last checkpoint instead of dying when a
@@ -124,6 +130,10 @@ type Kernel struct {
 	// Guard is the graft supervisor (nil unless GuardPolicy was set);
 	// Guard.Report() snapshots the health ledger.
 	Guard *guard.Supervisor
+	// Tenants is the multi-tenant registry (nil unless TenantPolicy was
+	// set). A fleet driver replacing a dead instance reassigns the old
+	// registry here so tenant standing survives the reboot.
+	Tenants *tenant.Registry
 	// Crash is the checkpoint/restore manager (nil unless CheckpointEvery
 	// was set). Crash.Stats() counts checkpoints, panics and recoveries.
 	Crash *crash.Manager
@@ -191,6 +201,9 @@ func New(cfg Config) *Kernel {
 		k.Guard = guard.New(clock, tr, *cfg.GuardPolicy)
 		reg.Supervisor = k.Guard
 	}
+	if cfg.TenantPolicy != nil {
+		k.Tenants = tenant.New(clock, tr, *cfg.TenantPolicy)
+	}
 	k.recoverScope = cfg.RecoverScope
 	if cfg.CheckpointEvery > 0 {
 		k.Crash = crash.NewManager(clock, tr, cfg.CheckpointEvery)
@@ -208,6 +221,11 @@ func New(cfg Config) *Kernel {
 		k.Crash.Register(txns)
 		k.Crash.Register(locks)
 		k.Crash.Register(reg)
+		// Meters after the registry: a restore rewinds graft membership
+		// first, then the balances of every install-bound account, so
+		// physical charges (sockets, kernel heap) whose release a panic
+		// destroyed rewind with the state that made them.
+		k.Crash.Register(graft.NewMeters(reg))
 	}
 	k.registerBaseCallables()
 	if cfg.FaultPlan != nil {

@@ -20,6 +20,8 @@
 package lock
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"strings"
@@ -703,6 +705,35 @@ func (m *Manager) CrashDelta(sinceGen uint64) any {
 // CrashMerge implements crash.DeltaSnapshotter: a non-nil delta is a
 // full image and replaces the base.
 func (m *Manager) CrashMerge(base, delta any) any { return delta }
+
+// lockExport is the lock manager's durable image. Locks themselves are
+// owned by the subsystems that create them (files, address spaces, the
+// kernel) and are re-created when those subsystems import their own
+// state, so the portable payload is the lifetime counters and the last
+// deadlock forensic — the part of the manager's history that a reboot
+// would otherwise erase.
+type lockExport struct {
+	Stats Stats
+}
+
+// CrashExport implements crash.Exporter.
+func (m *Manager) CrashExport() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&lockExport{Stats: m.Stats()})
+	return buf.Bytes(), err
+}
+
+// CrashImport implements crash.Exporter.
+func (m *Manager) CrashImport(data []byte) error {
+	var e lockExport
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return err
+	}
+	m.lastDeadlock = e.Stats.LastDeadlock
+	e.Stats.LastDeadlock = nil
+	m.stats = e.Stats
+	return nil
+}
 
 // grantableForGrantPass is grantableNow without charging the (possibly
 // not-current) waiter thread for policy calls; the grant happens on the

@@ -1,5 +1,11 @@
 package netstk
 
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+)
+
 // Crash checkpoint/restore for the network stack. Connections (with
 // their stream positions), listeners and counters rewind exactly, so a
 // mid-accept crash cannot leak a half-accepted connection past the
@@ -55,6 +61,58 @@ func (n *Net) CrashDelta(sinceGen uint64) any { return n.CrashSnapshot() }
 // CrashMerge implements crash.DeltaSnapshotter: the delta is a full
 // image, so it simply replaces the base.
 func (n *Net) CrashMerge(base, delta any) any { return delta }
+
+// portExport identifies one listener in the durable image.
+type portExport struct {
+	Proto  string
+	Number int
+}
+
+// netExport is the network stack's durable image: the listener set, the
+// connection id frontier and the lifetime counters. Live connections
+// are in-flight requests; they die with the machine (their peers see a
+// reset) and the fleet driver accounts them as failed. Importing
+// re-Listens every port through the normal path, which re-registers
+// each port's connection graft point — and thereby flushes any pending
+// graft imports waiting on those points.
+type netExport struct {
+	Ports    []portExport
+	NextConn int64
+	Stats    Stats
+}
+
+// CrashExport implements crash.Exporter.
+func (n *Net) CrashExport() ([]byte, error) {
+	ex := &netExport{NextConn: n.nextConn, Stats: n.stats}
+	for _, p := range n.ports {
+		ex.Ports = append(ex.Ports, portExport{Proto: p.Proto, Number: p.Number})
+	}
+	sort.Slice(ex.Ports, func(i, j int) bool {
+		if ex.Ports[i].Proto != ex.Ports[j].Proto {
+			return ex.Ports[i].Proto < ex.Ports[j].Proto
+		}
+		return ex.Ports[i].Number < ex.Ports[j].Number
+	})
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(ex)
+	return buf.Bytes(), err
+}
+
+// CrashImport implements crash.Exporter.
+func (n *Net) CrashImport(data []byte) error {
+	var ex netExport
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ex); err != nil {
+		return err
+	}
+	for _, pe := range ex.Ports {
+		n.Listen(pe.Proto, pe.Number)
+	}
+	if ex.NextConn > n.nextConn {
+		n.nextConn = ex.NextConn
+	}
+	n.stats = ex.Stats
+	return nil
+}
 
 // CrashRestore implements crash.Snapshotter.
 func (n *Net) CrashRestore(snap any) {

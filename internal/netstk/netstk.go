@@ -26,11 +26,19 @@ var (
 
 // Net is the simulated network stack.
 type Net struct {
-	k        *kernel.Kernel
-	ports    map[string]*Port
-	conns    map[int64]*Conn
-	nextConn int64
-	stats    Stats
+	k *kernel.Kernel
+	// BillSockets arms resource accounting at the accept edge: each
+	// accepted connection charges one Sockets unit per dispatched
+	// handler to that handler's account, and a handler whose account
+	// lacks budget fails the accept with a LimitError (§3.2 denial).
+	// Off by default: accounts are zero-limit unless granted, so billing
+	// is armed only by workloads that hand their endpoints a Sockets
+	// budget (the fleet driver does).
+	BillSockets bool
+	ports       map[string]*Port
+	conns       map[int64]*Conn
+	nextConn    int64
+	stats       Stats
 }
 
 // Stats counts network events.
@@ -39,6 +47,10 @@ type Stats struct {
 	BytesIn     int64
 	BytesOut    int64
 	Rejected    int64
+	// SocketDenials counts accepts refused because a handler's resource
+	// account was out of Sockets budget — the paper's §3.2 denial path
+	// applied to the network edge.
+	SocketDenials int64
 	// Churned counts connections reset by the fault plane before any
 	// handler ran (connection-churn injection).
 	Churned int64
@@ -106,6 +118,23 @@ type Conn struct {
 	readPos int
 	out     []byte
 	closed  bool
+
+	// billed holds the accounts charged one Sockets unit at accept time
+	// (one per handler dispatched on the connection); released exactly
+	// once, when the connection is torn down. Billing is a physical
+	// event: an aborting handler whose undo reopens the stream does not
+	// resurrect the socket charge.
+	billed []*resource.Account
+	// memBilled tracks outstanding response-buffer Memory charges per
+	// account, so teardown can return the buffer to the owning account.
+	memBilled map[*resource.Account]int64
+}
+
+func (c *Conn) billMem(a *resource.Account, n int64) {
+	if c.memBilled == nil {
+		c.memBilled = make(map[*resource.Account]int64)
+	}
+	c.memBilled[a] += n
 }
 
 // Response returns the bytes written by handlers so far.
@@ -124,8 +153,26 @@ func (n *Net) Connect(s *sched.Scheduler, proto string, num int, request []byte)
 		n.stats.Rejected++
 		return nil, fmt.Errorf("%w: %s/%d", ErrNoListener, proto, num)
 	}
+	// Resource binding at the accept edge (§3.2): each handler that will
+	// be dispatched holds one socket on its own account for the life of
+	// the connection. A handler whose account is out of Sockets budget
+	// fails the accept with the account's LimitError — denial, not
+	// degradation, exactly like any other quantity-constrained resource.
+	var billed []*resource.Account
+	if n.BillSockets {
+		for _, g := range p.point.Handlers() {
+			if err := g.Account.Charge(resource.Sockets, 1); err != nil {
+				for _, a := range billed {
+					a.Release(resource.Sockets, 1)
+				}
+				n.stats.SocketDenials++
+				return nil, fmt.Errorf("accept %s/%d: %w", proto, num, err)
+			}
+			billed = append(billed, g.Account)
+		}
+	}
 	n.nextConn++
-	c := &Conn{ID: n.nextConn, Port: num, in: append([]byte(nil), request...)}
+	c := &Conn{ID: n.nextConn, Port: num, in: append([]byte(nil), request...), billed: billed}
 	n.conns[c.ID] = c
 	n.stats.Connections++
 	n.stats.BytesIn += int64(len(request))
@@ -139,9 +186,39 @@ func (n *Net) Connect(s *sched.Scheduler, proto string, num int, request []byte)
 		// dead socket (their net.read aborts their transaction).
 		c.closed = true
 		n.stats.Churned++
+		n.releaseSockets(c)
 	}
 	p.point.Trigger(s, c.ID)
 	return c, nil
+}
+
+// releaseSockets returns the connection's accept-time socket charges to
+// their accounts, exactly once. Like the mid-stream teardown, socket
+// release is a physical event outside any transaction: an aborting
+// handler cannot resurrect a freed socket.
+func (n *Net) releaseSockets(c *Conn) {
+	for _, a := range c.billed {
+		a.Release(resource.Sockets, 1)
+	}
+	c.billed = nil
+}
+
+// Teardown closes a connection from the kernel side (a driver reaping a
+// finished or abandoned request) and releases every outstanding charge:
+// the accept-time sockets and the committed response-buffer Memory.
+// Memory is released only here, never on the in-handler close paths —
+// a close inside a transaction that later aborts would otherwise race
+// the net.write undo into a double release. Idempotent; must be called
+// outside any transaction.
+func (n *Net) Teardown(c *Conn) {
+	c.closed = true
+	n.releaseSockets(c)
+	for a, m := range c.memBilled {
+		if m > 0 {
+			a.Release(resource.Memory, m)
+		}
+	}
+	c.memBilled = nil
 }
 
 func (n *Net) lookupConn(id int64) (*Conn, error) {
@@ -173,6 +250,7 @@ func (n *Net) registerCallables() {
 			// aborting handler must not resurrect the connection.
 			c.closed = true
 			n.stats.MidstreamFaults++
+			n.releaseSockets(c)
 			return 0, ferr
 		}
 		maxLen := args[2]
@@ -209,6 +287,7 @@ func (n *Net) registerCallables() {
 		if ferr := n.k.Faults.NetWrite(c.ID); ferr != nil {
 			c.closed = true
 			n.stats.MidstreamFaults++
+			n.releaseSockets(c)
 			return 0, ferr
 		}
 		data, err := kernel.ReadGraftBytes(ctx.VM, args[1], args[2])
@@ -223,11 +302,13 @@ func (n *Net) registerCallables() {
 		n.stats.BytesOut += int64(len(data))
 		acct := ctx.Account()
 		nBytes := int64(len(data))
+		c.billMem(acct, nBytes)
 		if ctx.Txn != nil {
 			ctx.Txn.PushUndo("net.write", func() {
 				c.out = c.out[:prevLen]
 				n.stats.BytesOut -= nBytes
 				acct.Release(resource.Memory, nBytes)
+				c.billMem(acct, -nBytes)
 			})
 		}
 		return int64(len(data)), nil
@@ -242,6 +323,10 @@ func (n *Net) registerCallables() {
 			return 0, nil
 		}
 		c.closed = true
+		// The socket itself is freed on close regardless of the
+		// transaction's fate: an abort that reopens the stream models a
+		// half-finished response, not a resurrected kernel socket.
+		n.releaseSockets(c)
 		if ctx.Txn != nil {
 			ctx.Txn.PushUndo("net.close", func() { c.closed = false })
 		}

@@ -51,6 +51,12 @@ const (
 	DomainCheckpoint Kind = "domain-checkpoint"
 	DomainRestore    Kind = "domain-restore"
 	RecoveryWidened  Kind = "recovery-widened"
+
+	// Multi-tenant escalation: a tenant whose grafts keep getting
+	// expelled is throttled (a deterministic share of its traffic shed),
+	// then banned (all of it shed, further installs refused).
+	TenantThrottle Kind = "tenant-throttle"
+	TenantBan      Kind = "tenant-ban"
 )
 
 // Event is one recorded occurrence.

@@ -1,7 +1,9 @@
 package vmm
 
 import (
+	"bytes"
 	"container/list"
+	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -198,6 +200,36 @@ func (v *VMM) CrashRestore(snap any) {
 	v.stats = s.stats
 	v.lastEvicted = s.lastEvicted
 	v.ownerConflicts = nil
+}
+
+// vmmExport is the VM system's durable image. Address spaces are bound
+// to the threads that own them and die with the machine, so only the
+// lifetime counters and the VAS id frontier persist: a restored kernel
+// starts with an empty frame pool (RAM after a reboot) but its paging
+// history intact and its address-space ids never reused.
+type vmmExport struct {
+	Stats   Stats
+	NextVAS int
+}
+
+// CrashExport implements crash.Exporter.
+func (v *VMM) CrashExport() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&vmmExport{Stats: v.stats, NextVAS: v.nextVAS})
+	return buf.Bytes(), err
+}
+
+// CrashImport implements crash.Exporter.
+func (v *VMM) CrashImport(data []byte) error {
+	var e vmmExport
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return err
+	}
+	v.stats = e.Stats
+	if e.NextVAS > v.nextVAS {
+		v.nextVAS = e.NextVAS
+	}
+	return nil
 }
 
 func ownerName(o string) string {
