@@ -13,6 +13,7 @@ import (
 	"vino/internal/kernel"
 	"vino/internal/lock"
 	"vino/internal/netstk"
+	"vino/internal/redteam"
 	"vino/internal/resource"
 	"vino/internal/sched"
 	"vino/internal/sfi"
@@ -192,6 +193,14 @@ type BuildOptions struct {
 	// rewriter can prove in-segment carry no run-time masking (§4.4).
 	// The loader's verifier re-proves every discharged check.
 	Optimize bool
+	// Compartments splits the graft's memory view into typed regions
+	// (private heap, stack, read-only kernel exports, grant-only shared
+	// buffers) and lowers every access to a trapping bounds+permission
+	// check instead of the flat sandbox mask. Sources without a .layout
+	// directive get the default 64 KiB layout. Composes with Optimize:
+	// discharged accesses are proven against their region, never across
+	// a boundary.
+	Compartments bool
 	// Signer overrides the Toolchain's signer for this build.
 	Signer *Signer
 	// Unsafe skips rewriting and signing entirely, producing an image
@@ -222,6 +231,14 @@ func (tc Toolchain) Build(src string, opts BuildOptions) (*Image, error) {
 	if signer == nil {
 		signer = tc.Signer
 	}
+	if opts.Compartments {
+		if opts.Optimize {
+			img, _, err := sfi.BuildCompartmentedOptimized(src, signer)
+			return img, err
+		}
+		img, _, err := sfi.BuildCompartmented(src, signer)
+		return img, err
+	}
 	if opts.Optimize {
 		img, _, err := sfi.BuildSafeOptimized(src, signer)
 		return img, err
@@ -229,6 +246,21 @@ func (tc Toolchain) Build(src string, opts BuildOptions) (*Image, error) {
 	img, _, err := sfi.BuildSafe(src, signer)
 	return img, err
 }
+
+// CompartmentLayout describes a compartmented image's typed memory
+// regions (Image.Layout).
+type CompartmentLayout = sfi.Layout
+
+// CompartmentRegion is one typed region of a compartment layout.
+type CompartmentRegion = sfi.Region
+
+// RegionPerm is a region permission mask (read/write bits).
+type RegionPerm = sfi.Perm
+
+// DefaultCompartmentLayout returns the stock layout for the given
+// segment size: 5/8 private heap, then one-eighth each of grant-only
+// shared buffers, read-only kernel exports, and stack.
+func DefaultCompartmentLayout(segSize int) *CompartmentLayout { return sfi.DefaultLayout(segSize) }
 
 // GraftVM is the sandboxed interpreter a graft image runs on. Exposed
 // so demos can run an Unsafe image outside any kernel and observe the
@@ -703,3 +735,21 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) { return fleet.Run(cfg) }
 // DefaultFleetTenantLimits is the per-tenant resource grant a fleet
 // run starts from when none is configured.
 func DefaultFleetTenantLimits() map[ResourceKind]int64 { return fleet.DefaultTenantLimits() }
+
+// RedTeamConfig parameterises a run of the adversarial SFI escape
+// corpus: forged discharges, width confusion, out-of-bounds loads and
+// stores, stack pivots, call-table forgery, revoked-grant replays.
+type RedTeamConfig = redteam.Config
+
+// RedTeamResult is the corpus outcome, verdicts in corpus order;
+// Summary() renders the deterministic report (byte-identical at any
+// worker count for a fixed seed).
+type RedTeamResult = redteam.Result
+
+// RedTeamVerdict is one attack case's verdict: rejected by the
+// verifier, contained at runtime, or escaped (never acceptable).
+type RedTeamVerdict = redteam.Verdict
+
+// RunRedTeam executes the escape corpus. Clean() on the result means
+// zero escapes and every case stopped by its expected layer.
+func RunRedTeam(cfg RedTeamConfig) *RedTeamResult { return redteam.Run(cfg) }

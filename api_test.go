@@ -54,7 +54,7 @@ func TestOptionsFeedConfig(t *testing.T) {
 	}
 }
 
-// TestToolchainBuild covers the three build modes and signer binding.
+// TestToolchainBuild covers the build modes and signer binding.
 func TestToolchainBuild(t *testing.T) {
 	k := vino.New()
 	tc := vino.ToolchainFor(k)
@@ -66,6 +66,17 @@ func TestToolchainBuild(t *testing.T) {
 	opt, err := tc.Build(retSeven, vino.BuildOptions{Optimize: true})
 	if err != nil {
 		t.Fatalf("optimized build: %v", err)
+	}
+	comp, err := tc.Build(retSeven, vino.BuildOptions{Compartments: true})
+	if err != nil {
+		t.Fatalf("compartmented build: %v", err)
+	}
+	if comp.Layout == nil {
+		t.Fatal("compartmented image carries no layout")
+	}
+	compOpt, err := tc.Build(retSeven, vino.BuildOptions{Compartments: true, Optimize: true})
+	if err != nil {
+		t.Fatalf("compartmented optimized build: %v", err)
 	}
 	raw, err := vino.Toolchain{}.Build(retSeven, vino.BuildOptions{Unsafe: true})
 	if err != nil {
@@ -85,6 +96,8 @@ func TestToolchainBuild(t *testing.T) {
 		}{
 			{"plain", plain, nil},
 			{"optimized", opt, nil},
+			{"compartmented", comp, nil},
+			{"compartmented-optimized", compOpt, nil},
 			{"unsafe", raw, vino.ErrNotSafe},
 			{"foreign-signer", foreign, vino.ErrUnsigned},
 		} {

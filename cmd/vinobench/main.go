@@ -35,7 +35,7 @@ import (
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	table := flag.Int("table", 0, "reproduce one paper table (3-7)")
-	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint | recovery | campaign | fleet")
+	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint | recovery | sfi | campaign | fleet")
 	ablation := flag.String("ablation", "", "design-choice ablation: lock | sfidensity | misfitopt | txn")
 	check := flag.Bool("check", false, "run semantic cross-checks")
 	ncpu := flag.Int("ncpu", 4, "smp sweep: largest simulated CPU count (sweeps powers of two up to it)")
@@ -150,6 +150,12 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(harness.FormatRecoveryCostSweep(pts))
+		case "sfi":
+			res, err := harness.SFIOverheadSweep(0)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res)
 		case "campaign":
 			var counts []int
 			for n := 1; n <= *workers; n *= 2 {
@@ -237,6 +243,7 @@ func main() {
 		runSweep("smp")
 		runSweep("checkpoint")
 		runSweep("recovery")
+		runSweep("sfi")
 		runSweep("campaign")
 		runAblation("lock")
 		runAblation("sfidensity")

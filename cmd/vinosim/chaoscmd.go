@@ -33,6 +33,7 @@ type chaosFlags struct {
 	guardBackoff   time.Duration
 	guardProbation int
 	varyInstalls   bool
+	redteam        bool
 
 	crash          bool
 	checkpoint     time.Duration
@@ -57,6 +58,7 @@ func (c *chaosFlags) register(fs *flag.FlagSet) {
 	fs.DurationVar(&c.guardBackoff, "guard-backoff", 0, "first quarantine backoff in virtual time (0 = policy default)")
 	fs.IntVar(&c.guardProbation, "guard-probation", 0, "clean commits required to clear probation (0 = policy default)")
 	fs.BoolVar(&c.varyInstalls, "varyinstalls", false, "randomize graft install options (watchdogs, transfers, handler order) from the seed")
+	fs.BoolVar(&c.redteam, "redteam", false, "arm the red-team phase (SFI escape corpus + in-kernel compartment-violation probe)")
 	fs.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after the run")
 }
 
@@ -92,6 +94,7 @@ func (c *chaosFlags) build() (vino.ChaosConfig, error) {
 		CheckpointFullCopy: c.checkpointFull,
 		CheckpointDir:      c.checkpointDir,
 		NoRecover:          c.norecover,
+		RedTeam:            c.redteam,
 	}
 	switch c.recoverScope {
 	case "", vino.RecoverScopeKernel:

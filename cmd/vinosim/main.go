@@ -49,6 +49,8 @@ func main() {
 		os.Exit(cmdCampaign(args[1:]))
 	case "fleet":
 		os.Exit(cmdFleet(args[1:]))
+	case "redteam":
+		os.Exit(cmdRedTeam(args[1:]))
 	case "help", "-h", "--help", "-help":
 		usage(os.Stdout)
 		return
@@ -71,6 +73,7 @@ Commands:
   minimize   delta-debug a failing fault plan to a minimal reproducer
   campaign   coverage-guided chaos fuzzing campaign
   fleet      multi-tenant fleet: tenant isolation, self-healing instances
+  redteam    adversarial SFI escape corpus (verify-reject or contain; 0 escapes)
 
 Run 'vinosim <command> -h' for that command's flags.
 `)

@@ -75,6 +75,12 @@ type Config struct {
 	// minimized reproducers (default 16; 0 keeps the default, negative
 	// disables minimization entirely).
 	MaxCorpus int
+	// RedTeam arms each run's red-team phase: the adversarial SFI
+	// escape corpus plus an in-kernel compartment-violation probe. An
+	// escape surfaces as an invariant violation in that run's
+	// signature. Off by default, keeping existing campaign artifacts
+	// byte-identical.
+	RedTeam bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -307,6 +313,7 @@ func chaosConfig(cfg Config, plan *fault.Plan) harness.ChaosConfig {
 		NCPU:       cfg.NCPU,
 		Extended:   cfg.Extended,
 		Crash:      cfg.Crash,
+		RedTeam:    cfg.RedTeam,
 	}
 }
 

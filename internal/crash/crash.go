@@ -59,11 +59,19 @@ const (
 	// Stall is an event-loop deadlock: every thread blocked with no
 	// timer pending, detected by the scheduler.
 	Stall Class = "stall"
+	// SFIViolation is a compartment region-check trap escalated by the
+	// dispatcher: a graft tried to read or write memory its per-region
+	// layout denies (OOB into kernel-exported data, a stack pivot, a
+	// write through a revoked grant). The transaction has already
+	// aborted; the panic routes the offender through checkpointed
+	// recovery and the guard ledger. Appended after Stall so the frozen
+	// fault-plan site/class derivations are untouched.
+	SFIViolation Class = "sfi-violation"
 )
 
 // Classes returns every panic class in canonical order.
 func Classes() []Class {
-	return []Class{UndoEscape, CommitCorruption, AbortCorruption, SFIBreach, LockInvariant, ResourceInvariant, Stall}
+	return []Class{UndoEscape, CommitCorruption, AbortCorruption, SFIBreach, LockInvariant, ResourceInvariant, Stall, SFIViolation}
 }
 
 // Site names a code location where an injected crash can strike. Sites

@@ -28,8 +28,8 @@ func TestSiteClassMapping(t *testing.T) {
 			t.Errorf("SiteClass(%s) = %s, want %s", s, got, c)
 		}
 	}
-	if len(Classes()) != 7 { // the six site classes + stall
-		t.Fatalf("Classes() has %d entries, want 7", len(Classes()))
+	if len(Classes()) != 8 { // six site classes + stall + sfi-violation
+		t.Fatalf("Classes() has %d entries, want 8", len(Classes()))
 	}
 }
 

@@ -70,6 +70,15 @@ type Registry struct {
 	// panics at the graft dispatch boundary and stamp escaping panics
 	// with the guard key of the graft whose dispatch was active.
 	Faults *fault.Injector
+	// EscalateViolations, when set, promotes compartment region-check
+	// traps (sfi.Violation with Compartment set) from plain transaction
+	// aborts into classified sfi-violation kernel panics after the
+	// abort completes, routing the offender through checkpointed
+	// recovery, the guard ledger and tenant standing. The kernel arms
+	// this only when crash containment (checkpointing) is configured —
+	// without a checkpoint to restore, escalation would turn a
+	// contained abort into a fatal error.
+	EscalateViolations bool
 
 	// GenSource, when set, supplies the crash manager's checkpoint
 	// generation so membership churn can be dirty-flagged.
@@ -591,6 +600,12 @@ func (r *Registry) invokeGraft(t *sched.Thread, g *Installed, probation bool, ar
 		prevOwner := crash.SetOwner(t, g.GuardKey())
 		defer crash.SetOwner(t, prevOwner)
 
+		// Shared-buffer grants are per-dispatch: whatever the PreGraft
+		// hook (or a kernel callable) opened is revoked when this
+		// dispatch returns, abort or commit, so a pointer the graft
+		// cached in its heap is dead on the next invocation.
+		defer g.vm.RevokeGrants()
+
 		if p.PreGraft != nil {
 			if err := p.PreGraft(t, tx, g, args); err != nil {
 				return err
@@ -613,6 +628,19 @@ func (r *Registry) invokeGraft(t *sched.Thread, g *Installed, probation bool, ar
 	if err != nil {
 		p.stats.Aborts++
 		r.emit(trace.GraftAbort, p.Name, err.Error())
+		if r.EscalateViolations && sfi.IsCompartmentViolation(err) {
+			// The transaction has aborted (the graft's kernel-state
+			// writes are already undone); what escalates is the breach
+			// itself. The classified panic carries the guard key so
+			// recovery scopes the rollback domain to this graft and
+			// bills the ledger.
+			panic(&crash.Panic{
+				Class:  crash.SFIViolation,
+				Site:   crash.SiteDispatch,
+				Graft:  g.GuardKey(),
+				Reason: err.Error(),
+			})
+		}
 		return 0, err
 	}
 	p.stats.Commits++
@@ -651,6 +679,7 @@ func (r *Registry) invokeGraftUnprotected(t *sched.Thread, g *Installed, args []
 	defer func() { g.curThread = prevThread }()
 	prevOwner := crash.SetOwner(t, g.GuardKey())
 	defer crash.SetOwner(t, prevOwner)
+	defer g.vm.RevokeGrants()
 	res, err = g.vm.Call(g.Entry, args...)
 	if err == nil && p.Validate != nil {
 		res, err = p.Validate(t, args, res)

@@ -16,6 +16,7 @@ import (
 	"vino/internal/kernel"
 	"vino/internal/lock"
 	"vino/internal/netstk"
+	"vino/internal/redteam"
 	"vino/internal/resource"
 	"vino/internal/sched"
 	"vino/internal/vmm"
@@ -108,6 +109,13 @@ type ChaosConfig struct {
 	// CheckpointDir, when non-empty, persists the checkpoint ring to
 	// disk (see kernel.Config.CheckpointDir).
 	CheckpointDir string
+	// RedTeam arms the red-team phase: the adversarial SFI escape
+	// corpus runs (every attack image must be verifier-rejected or
+	// contained with intact sentinel audits — an escape is an invariant
+	// violation), and a compartment-violating graft is dispatched
+	// inside the chaos kernel to prove sfi-violation containment under
+	// load. Off by default, keeping existing golden dumps byte-identical.
+	RedTeam bool
 }
 
 func (cfg ChaosConfig) withDefaults() ChaosConfig {
@@ -200,6 +208,9 @@ type ChaosReport struct {
 	// GuardHealth snapshots the supervisor's ledger (nil unless the run
 	// was configured with a guard policy).
 	GuardHealth *guard.Report
+	// RedTeam is the escape-corpus result (nil unless the run was
+	// configured with RedTeam). Escapes also appear in Violations.
+	RedTeam *redteam.Result
 }
 
 // Survived reports whether every invariant held and the follow-up
@@ -247,6 +258,10 @@ func (r *ChaosReport) Summary() string {
 	}
 	if r.FatalPanic != "" {
 		fmt.Fprintf(&b, "chaos: FATAL kernel panic %s (recovery disabled)\n", r.FatalPanic)
+	}
+	if r.RedTeam != nil {
+		fmt.Fprintf(&b, "chaos: red-team corpus %d cases: %d rejected, %d contained, %d escaped\n",
+			len(r.RedTeam.Verdicts), r.RedTeam.Rejected, r.RedTeam.Contained, r.RedTeam.Escapes)
 	}
 	fmt.Fprintf(&b, "chaos: follow-up workload ok: %v; survived: %v (virtual %v, %d trace events)\n",
 		r.FollowupOK, r.Survived(), r.Elapsed, r.TraceTotal)
@@ -401,6 +416,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			name string
 			run  func() error
 		}{"crash", c.phaseCrash})
+	}
+	if cfg.RedTeam {
+		phases = append(phases, struct {
+			name string
+			run  func() error
+		}{"redteam", c.phaseRedTeam})
 	}
 	for _, ph := range phases {
 		if err := ph.run(); err != nil {

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"testing"
+
+	"vino/internal/crash"
+	"vino/internal/kernel"
+)
+
+// TestChaosRedTeamPhasePlainAbort: with crash containment off, the
+// red-team phase runs the corpus clean and the in-kernel probe's
+// violations are absorbed as ordinary aborts.
+func TestChaosRedTeamPhasePlainAbort(t *testing.T) {
+	r, err := RunChaos(ChaosConfig{Seed: 11, Iterations: 16, RedTeam: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Survived() {
+		t.Fatalf("did not survive: %v", r.Violations)
+	}
+	if r.RedTeam == nil {
+		t.Fatal("report carries no red-team result")
+	}
+	if !r.RedTeam.Clean() {
+		t.Fatalf("corpus not clean:\n%s", r.RedTeam.Summary())
+	}
+	if r.Panics != 0 {
+		t.Errorf("panics = %d without crash containment, want 0", r.Panics)
+	}
+}
+
+// TestChaosRedTeamPhaseContained: with the crash phase armed and
+// graft-scoped recovery, the probe's violations escalate to contained
+// sfi-violation panics and the run still survives.
+func TestChaosRedTeamPhaseContained(t *testing.T) {
+	r, err := RunChaos(ChaosConfig{
+		Seed:         11,
+		Iterations:   16,
+		Crash:        true,
+		RecoverScope: kernel.RecoverScopeGraft,
+		RedTeam:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Survived() {
+		t.Fatalf("did not survive: %v", r.Violations)
+	}
+	if r.RedTeam == nil || !r.RedTeam.Clean() {
+		t.Fatalf("red-team result missing or dirty: %+v", r.RedTeam)
+	}
+	if n := r.PanicsByClass[crash.SFIViolation]; n == 0 {
+		t.Errorf("no sfi-violation panics contained (by class: %v)", r.PanicsByClass)
+	}
+}
+
+// TestChaosRedTeamOffKeepsReportShape: the phase is strictly opt-in —
+// without the flag the report carries no red-team result (golden dumps
+// of existing configurations stay byte-identical).
+func TestChaosRedTeamOffKeepsReportShape(t *testing.T) {
+	r, err := RunChaos(ChaosConfig{Seed: 11, Iterations: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RedTeam != nil {
+		t.Error("red-team result present without the flag")
+	}
+}

@@ -1,0 +1,163 @@
+package harness
+
+// The SFI overhead sweep: one memory-heavy workload built through every
+// sandbox pipeline — unsafe (no checks), the flat SANDBOX mask, flat
+// with static discharge, per-region compartment checks, and compartment
+// with static discharge — run on identical VMs and compared by executed
+// cycles. This is the cost side of the compartment tentpole: what the
+// typed memory views charge per access over the flat mask, and how much
+// of it the region-aware optimizer claws back.
+
+import (
+	"fmt"
+	"strings"
+
+	"vino/internal/sfi"
+)
+
+// sfiSweepSrc is the measured workload: per iteration two stores, two
+// loads, a push and a pop — six checked accesses — plus loop control.
+// The four heap accesses are provably in-region, so the optimized
+// pipelines discharge them; the push/pop pair keeps its run-time check
+// (SP is not statically provable across the loop join), so the sweep
+// shows both the discharged and the residual cost.
+func sfiSweepSrc(iters int) string {
+	return fmt.Sprintf(`
+.name sfisweep
+.func main
+main:
+    movi r3, 0
+    movi r4, %d
+loop:
+    cmplt r5, r3, r4
+    jz r5, done
+    st [r10+0], r3
+    ld r6, [r10+0]
+    st [r10+8], r6
+    ld r7, [r10+8]
+    push r7
+    pop r8
+    addi r3, r3, 1
+    jmp loop
+done:
+    halt
+`, iters)
+}
+
+// accessesPerIter is the checked-access count of one sfiSweepSrc loop
+// iteration.
+const accessesPerIter = 6
+
+// SFISweepPoint is one pipeline variant's measurement.
+type SFISweepPoint struct {
+	Variant string
+	// Cycles is the VM's total executed-cycle count for the workload.
+	Cycles int64
+	// PerAccess is Cycles normalised per checked memory access, the
+	// comparable overhead number.
+	PerAccess float64
+	// Checks counts run-time check instructions (SANDBOX or CHK*) left
+	// in the image after the pipeline ran — the static-discharge
+	// scoreboard.
+	Checks int
+	// Code is the image length in instructions.
+	Code int
+}
+
+// SFISweepResult is the full sweep.
+type SFISweepResult struct {
+	Iters  int
+	Points []SFISweepPoint
+}
+
+// String renders the sweep as a table with overhead relative to the
+// unsafe baseline.
+func (r *SFISweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SFI per-access overhead (%d iterations, %d accesses/iteration)\n", r.Iters, accessesPerIter)
+	fmt.Fprintf(&b, "  %-24s %12s %12s %8s %6s %10s\n", "variant", "cycles", "cyc/access", "checks", "code", "overhead")
+	var base float64
+	for _, p := range r.Points {
+		if p.Variant == "unsafe" {
+			base = p.PerAccess
+		}
+	}
+	for _, p := range r.Points {
+		over := "-"
+		if base > 0 && p.Variant != "unsafe" {
+			over = fmt.Sprintf("%+.1f%%", (p.PerAccess-base)/base*100)
+		}
+		fmt.Fprintf(&b, "  %-24s %12d %12.2f %8d %6d %10s\n",
+			p.Variant, p.Cycles, p.PerAccess, p.Checks, p.Code, over)
+	}
+	return b.String()
+}
+
+// countChecks tallies run-time check instructions left in an image.
+func countChecks(img *sfi.Image) int {
+	n := 0
+	for _, ins := range img.Code {
+		switch ins.Op {
+		case sfi.SANDBOX, sfi.CHKR, sfi.CHKW, sfi.CHKS:
+			n++
+		}
+	}
+	return n
+}
+
+// SFIOverheadSweep builds the workload through all five pipelines and
+// measures executed cycles on identical VM configurations.
+func SFIOverheadSweep(iters int) (*SFISweepResult, error) {
+	if iters <= 0 {
+		iters = 2000
+	}
+	src := sfiSweepSrc(iters)
+	signer := sfi.NewSigner([]byte("sfi-sweep"))
+	variants := []struct {
+		name  string
+		build func() (*sfi.Image, error)
+	}{
+		{"unsafe", func() (*sfi.Image, error) {
+			return sfi.BuildUnsafe(src)
+		}},
+		{"sandbox", func() (*sfi.Image, error) {
+			img, _, err := sfi.BuildSafe(src, signer)
+			return img, err
+		}},
+		{"sandbox+discharge", func() (*sfi.Image, error) {
+			img, _, err := sfi.BuildSafeOptimized(src, signer)
+			return img, err
+		}},
+		{"compartment", func() (*sfi.Image, error) {
+			img, _, err := sfi.BuildCompartmented(src, signer)
+			return img, err
+		}},
+		{"compartment+discharge", func() (*sfi.Image, error) {
+			img, _, err := sfi.BuildCompartmentedOptimized(src, signer)
+			return img, err
+		}},
+	}
+	res := &SFISweepResult{Iters: iters}
+	for _, v := range variants {
+		img, err := v.build()
+		if err != nil {
+			return nil, fmt.Errorf("sfi sweep: build %s: %w", v.name, err)
+		}
+		vm, err := sfi.NewVM(img, sfi.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("sfi sweep: vm %s: %w", v.name, err)
+		}
+		if _, err := vm.Call("main"); err != nil {
+			return nil, fmt.Errorf("sfi sweep: run %s: %w", v.name, err)
+		}
+		cycles := vm.TotalCycles()
+		res.Points = append(res.Points, SFISweepPoint{
+			Variant:   v.name,
+			Cycles:    cycles,
+			PerAccess: float64(cycles) / float64(iters*accessesPerIter),
+			Checks:    countChecks(img),
+			Code:      len(img.Code),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package harness
+
+import "testing"
+
+// TestSFIOverheadSweep pins the sweep's ordering claims: checks cost
+// cycles (every sandboxed variant is dearer than unsafe), compartment
+// region checks cost more than the flat mask (they prove bounds and
+// permissions, not just masking), and static discharge recovers cost
+// for both pipelines — all the way back to the unsafe baseline for this
+// fully provable workload.
+func TestSFIOverheadSweep(t *testing.T) {
+	res, err := SFIOverheadSweep(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := map[string]SFISweepPoint{}
+	for _, p := range res.Points {
+		pt[p.Variant] = p
+	}
+	if len(pt) != 5 {
+		t.Fatalf("points = %d, want 5 variants", len(res.Points))
+	}
+	unsafe, sandbox, sandboxOpt := pt["unsafe"], pt["sandbox"], pt["sandbox+discharge"]
+	comp, compOpt := pt["compartment"], pt["compartment+discharge"]
+	if !(unsafe.Cycles < sandbox.Cycles) {
+		t.Errorf("unsafe (%d) not cheaper than sandbox (%d)", unsafe.Cycles, sandbox.Cycles)
+	}
+	if !(sandbox.Cycles < comp.Cycles) {
+		t.Errorf("sandbox (%d) not cheaper than compartment (%d): region checks must cost more than masking", sandbox.Cycles, comp.Cycles)
+	}
+	if !(sandboxOpt.Cycles < sandbox.Cycles) {
+		t.Errorf("discharge did not pay for sandbox: %d vs %d", sandboxOpt.Cycles, sandbox.Cycles)
+	}
+	if !(compOpt.Cycles < comp.Cycles) {
+		t.Errorf("discharge did not pay for compartment: %d vs %d", compOpt.Cycles, comp.Cycles)
+	}
+	if unsafe.Checks != 0 {
+		t.Errorf("unsafe image carries %d checks", unsafe.Checks)
+	}
+	if sandbox.Checks == 0 || comp.Checks == 0 {
+		t.Error("unoptimized sandboxed images carry no checks")
+	}
+	// The heap accesses are statically provable (the stack pointer is
+	// not, across the loop join): both optimizers must discharge the
+	// four heap checks and keep the push/pop pair.
+	if !(sandboxOpt.Checks < sandbox.Checks) || !(compOpt.Checks < comp.Checks) {
+		t.Errorf("discharge removed no checks: sandbox %d->%d, compartment %d->%d",
+			sandbox.Checks, sandboxOpt.Checks, comp.Checks, compOpt.Checks)
+	}
+	// Determinism: the sweep is pure virtual time; rerunning must give
+	// identical numbers.
+	again, err := SFIOverheadSweep(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != again.String() {
+		t.Error("sweep is not deterministic across runs")
+	}
+}

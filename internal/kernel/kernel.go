@@ -206,6 +206,10 @@ func New(cfg Config) *Kernel {
 	}
 	k.recoverScope = cfg.RecoverScope
 	if cfg.CheckpointEvery > 0 {
+		// With a checkpoint to restore, compartment region-check traps
+		// escalate from plain transaction aborts into classified
+		// sfi-violation panics contained by RunRecovered.
+		reg.EscalateViolations = true
 		k.Crash = crash.NewManager(clock, tr, cfg.CheckpointEvery)
 		k.Crash.SetRing(cfg.CheckpointRing)
 		k.Crash.SetIncremental(!cfg.CheckpointFullCopy)

@@ -1,0 +1,254 @@
+package kernel_test
+
+// Compartment-violation containment: a region-check trap raised inside
+// a compartmented graft flows through the whole survival stack — the
+// transaction aborts, the registry escalates the breach to a classified
+// kernel panic (class sfi-violation), recovery scopes the rollback to
+// the offender's domain, the guard ledger bills the abort under the
+// SFI-trap cause, and repeat offenders climb the quarantine→expulsion
+// ladder across reinstalls. External test package, like the domain
+// recovery tests, so the full kernel.New wiring is exercised.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vino/internal/crash"
+	"vino/internal/graft"
+	"vino/internal/guard"
+	"vino/internal/kernel"
+	"vino/internal/sched"
+	"vino/internal/sfi"
+	"vino/internal/trace"
+	"vino/internal/txn"
+)
+
+// vioSrc stores into the read-only kernel-export region of the default
+// compartment layout (offset 49152 in a 64 KiB segment): the rewriter
+// lowers the store to CHKW, which traps at runtime with a compartment
+// violation.
+const vioSrc = `
+.name breach
+.func main
+main:
+    movi r1, 49152
+    add r1, r1, r10
+    st [r1+0], r2
+    ret
+`
+
+func vioPoint(k *kernel.Kernel, name string) *graft.Point {
+	return k.Grafts.RegisterPoint(&graft.Point{
+		Name: name,
+		Kind: graft.Function,
+		Default: func(th *sched.Thread, args []int64) (int64, error) {
+			return -1, nil
+		},
+		Watchdog: 8 * time.Millisecond,
+	})
+}
+
+func vioInstall(t *testing.T, p *kernel.Process, point string) *graft.Installed {
+	t.Helper()
+	img, _, err := sfi.BuildCompartmented(vioSrc, p.Kernel().Signer)
+	if err != nil {
+		t.Fatalf("build violator: %v", err)
+	}
+	g, err := p.Install(point, img, graft.InstallOptions{})
+	if err != nil {
+		t.Fatalf("install violator: %v", err)
+	}
+	return g
+}
+
+// TestCompartmentViolationScopedContainment: one violation, contained
+// end to end. The dispatch aborts, escalates to an sfi-violation panic,
+// recovery scopes to the graft's domain (no clock rewind, no widening),
+// the crash taxonomy and the guard ledger both record the breach, and
+// the offender is removed while the kernel keeps running.
+func TestCompartmentViolationScopedContainment(t *testing.T) {
+	pol := guard.DefaultPolicy()
+	k := kernel.New(kernel.Config{
+		ZeroTxnCosts:    true,
+		CheckpointEvery: time.Hour,
+		RecoverScope:    kernel.RecoverScopeGraft,
+		GuardPolicy:     &pol,
+	})
+	pt := vioPoint(k, "vio.fn")
+	k.SpawnProcess("prefill", graft.Root, func(p *kernel.Process) {})
+	if err := k.Run(); err != nil {
+		t.Fatalf("prefill: %v", err)
+	}
+	k.Checkpoint()
+
+	var key string
+	reached := false
+	k.SpawnProcess("app", graft.Root, func(p *kernel.Process) {
+		g := vioInstall(t, p, "vio.fn")
+		key = g.GuardKey()
+		pt.Invoke(p.Thread) // traps mid-dispatch: never returns
+		reached = true
+	})
+	recovered, err := k.RunRecovered()
+	if err != nil {
+		t.Fatalf("RunRecovered: %v", err)
+	}
+	if recovered != 1 {
+		t.Fatalf("recovered = %d, want 1", recovered)
+	}
+	if reached {
+		t.Error("code after the violating dispatch ran")
+	}
+	if at := k.Clock.Now(); at == 0 {
+		t.Error("clock rewound to 0: scoped recovery must not rewind virtual time")
+	}
+	st := k.Crash.Stats()
+	if st.ByClass[crash.SFIViolation] != 1 {
+		t.Errorf("ByClass[sfi-violation] = %d, want 1 (stats %+v)", st.ByClass[crash.SFIViolation], st)
+	}
+	if st.ScopedRecoveries != 1 || st.WidenedRecoveries != 0 {
+		t.Errorf("crash stats = %+v, want 1 scoped recovery, 0 widened", st)
+	}
+	h, ok := k.Guard.Health(key)
+	if !ok {
+		t.Fatalf("no guard ledger row for %s", key)
+	}
+	if h.AbortsByCause[txn.CauseSFITrap] != 1 {
+		t.Errorf("AbortsByCause[sfi-trap] = %d, want 1 (%+v)", h.AbortsByCause[txn.CauseSFITrap], h)
+	}
+	if h.Recoveries != 1 {
+		t.Errorf("Recoveries = %d, want 1", h.Recoveries)
+	}
+	revs := k.Trace.Filter(trace.DomainRestore)
+	if len(revs) != 1 || revs[0].Subject != key {
+		t.Errorf("domain-restore events = %v, want one for %s", revs, key)
+	}
+
+	// The offender died with its dispatch: the point falls back to the
+	// base path, and the kernel is healthy enough to run it.
+	var after int64
+	k.SpawnProcess("after", graft.Root, func(p *kernel.Process) {
+		after, _ = pt.Invoke(p.Thread)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("post-recovery run: %v", err)
+	}
+	if after != -1 {
+		t.Errorf("post-recovery invoke = %d, want the base-path -1", after)
+	}
+}
+
+// TestCompartmentViolationPlainAbortWithoutCheckpointing: on a kernel
+// without crash containment armed, a compartment trap must stay an
+// ordinary dispatch abort — billed as an SFI trap, falling back to the
+// base path — not a kernel panic nothing would recover.
+func TestCompartmentViolationPlainAbortWithoutCheckpointing(t *testing.T) {
+	pol := guard.DefaultPolicy()
+	k := kernel.New(kernel.Config{
+		ZeroTxnCosts: true,
+		GuardPolicy:  &pol,
+	})
+	pt := vioPoint(k, "vio.fn")
+	var key string
+	var res int64
+	k.SpawnProcess("app", graft.Root, func(p *kernel.Process) {
+		g := vioInstall(t, p, "vio.fn")
+		key = g.GuardKey()
+		res, _ = pt.Invoke(p.Thread)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run = %v, want the violation absorbed as an abort", err)
+	}
+	if res != -1 {
+		t.Errorf("invoke = %d, want the base-path -1 after the abort", res)
+	}
+	h, ok := k.Guard.Health(key)
+	if !ok {
+		t.Fatalf("no guard ledger row for %s", key)
+	}
+	if h.AbortsByCause[txn.CauseSFITrap] != 1 {
+		t.Errorf("AbortsByCause[sfi-trap] = %d, want 1 (%+v)", h.AbortsByCause[txn.CauseSFITrap], h)
+	}
+	if h.Recoveries != 0 {
+		t.Errorf("Recoveries = %d, want 0 without containment", h.Recoveries)
+	}
+}
+
+// TestRepeatViolatorClimbsLadder: the guard ledger is keyed by
+// point#image and survives removal, so a violator that is reinstalled
+// after every scoped recovery still climbs the escalation ladder —
+// quarantine (dispatch short-circuits to the base path) and, on a
+// probation relapse, permanent expulsion that bars reinstall.
+func TestRepeatViolatorClimbsLadder(t *testing.T) {
+	pol := guard.Policy{
+		QuarantineStreak: 2,
+		ProbationStreak:  1,
+		Backoff:          time.Nanosecond, // expire by the next dispatch
+		QuarantinePct:    101,             // streak trigger only
+	}
+	k := kernel.New(kernel.Config{
+		ZeroTxnCosts:    true,
+		CheckpointEvery: time.Hour,
+		RecoverScope:    kernel.RecoverScopeGraft,
+		GuardPolicy:     &pol,
+	})
+	pt := vioPoint(k, "vio.fn")
+	k.SpawnProcess("prefill", graft.Root, func(p *kernel.Process) {})
+	if err := k.Run(); err != nil {
+		t.Fatalf("prefill: %v", err)
+	}
+	k.Checkpoint()
+
+	var key string
+	violate := func(round int) {
+		t.Helper()
+		k.SpawnProcess("app", graft.Root, func(p *kernel.Process) {
+			g := vioInstall(t, p, "vio.fn")
+			key = g.GuardKey()
+			p.Thread.Sleep(time.Millisecond) // let any quarantine backoff expire
+			pt.Invoke(p.Thread)
+		})
+		recovered, err := k.RunRecovered()
+		if err != nil {
+			t.Fatalf("round %d: RunRecovered: %v", round, err)
+		}
+		if recovered != 1 {
+			t.Fatalf("round %d: recovered = %d, want 1", round, recovered)
+		}
+	}
+
+	violate(1) // streak 1: kept, but removed by the scoped recovery
+	if st, _ := k.Guard.StateOf(key); st == guard.Quarantined || st == guard.Expelled {
+		t.Fatalf("state after one violation = %s, too eager", st)
+	}
+	violate(2) // streak 2: quarantined
+	if st, _ := k.Guard.StateOf(key); st != guard.Quarantined {
+		t.Fatalf("state after two violations = %s, want quarantined", st)
+	}
+
+	// While quarantined the image still installs (the ledger survives,
+	// the bar is expulsion-only). After the backoff expires the next
+	// dispatch is reinstated on probation, runs, traps — a probation
+	// relapse, which expels permanently.
+	violate(3)
+	if st, _ := k.Guard.StateOf(key); st != guard.Expelled {
+		t.Fatalf("state after probation relapse = %s, want expelled", st)
+	}
+	if !k.Guard.Barred(key) {
+		t.Error("expelled key not barred")
+	}
+	k.SpawnProcess("retry", graft.Root, func(p *kernel.Process) {
+		img, _, err := sfi.BuildCompartmented(vioSrc, p.Kernel().Signer)
+		if err != nil {
+			t.Errorf("build: %v", err)
+			return
+		}
+		if _, err := p.Install("vio.fn", img, graft.InstallOptions{}); !errors.Is(err, graft.ErrExpelled) {
+			t.Errorf("reinstall of expelled image: err = %v, want ErrExpelled", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+}

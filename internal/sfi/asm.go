@@ -17,6 +17,11 @@ import (
 //	.data "raw bytes"       ; append string bytes to the initial heap
 //	.dataword 42            ; append a little-endian 64-bit word
 //	.space 256              ; append zero bytes
+//	.layout 65536           ; start a compartment layout for this segment size
+//	.region heap heap 0 40960 rw      ; name kind off size perm
+//	.region share share 40960 8192 none
+//	.region ro ro 49152 8192 r
+//	.region stack stack 57344 8192 rw
 //
 //	main:
 //	    movi r1, 4096
@@ -195,6 +200,38 @@ func (a *assembler) directive(line string) error {
 			return a.errf(".space wants a non-negative integer")
 		}
 		a.img.Data = append(a.img.Data, make([]byte, n)...)
+	case ".layout":
+		if a.img.Layout != nil {
+			return a.errf("duplicate .layout")
+		}
+		v, err := strconv.ParseInt(arg, 0, 64)
+		if err != nil {
+			return a.errf(".layout wants a segment size: %v", err)
+		}
+		a.img.Layout = &Layout{SegSize: v}
+	case ".region":
+		if a.img.Layout == nil {
+			return a.errf(".region before .layout")
+		}
+		f := strings.Fields(arg)
+		if len(f) != 5 {
+			return a.errf(".region wants: name kind off size perm")
+		}
+		kind, err := ParseRegionKind(f[1])
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		off, err1 := strconv.ParseInt(f[2], 0, 64)
+		size, err2 := strconv.ParseInt(f[3], 0, 64)
+		if err1 != nil || err2 != nil {
+			return a.errf(".region wants integer off/size")
+		}
+		perm, err := ParsePerm(f[4])
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		a.img.Layout.Regions = append(a.img.Layout.Regions,
+			Region{Name: f[0], Kind: kind, Off: off, Size: size, Perm: perm})
 	default:
 		return a.errf("unknown directive %s", fields[0])
 	}
@@ -313,6 +350,12 @@ func (a *assembler) instruction(line string) error {
 	case CHKCALL:
 		if err = need(1); err == nil {
 			ins.Rs1, err = a.reg(operands[0])
+		}
+	case CHKR, CHKW, CHKS:
+		if err = need(2); err == nil {
+			if ins.Rd, err = a.reg(operands[0]); err == nil {
+				ins.Imm, err = a.imm(operands[1])
+			}
 		}
 	default:
 		err = a.errf("unhandled opcode %s", op)

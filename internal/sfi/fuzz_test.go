@@ -169,6 +169,17 @@ main:
 	f.Add(valid.EncodeSigned())
 	f.Add([]byte{})
 	f.Add([]byte("VINO"))
+	comp, _, err := BuildCompartmented(`
+.name fuzzcomp
+.func main
+main:
+    st [r10+0], r1
+    ret
+`, NewSigner([]byte("fuzz")))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(comp.Encode()) // GIR2: exercises the region-table decoder
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if img, err := Decode(data); err == nil {
 			_ = Verify(img)
@@ -176,6 +187,64 @@ main:
 		}
 		if img, err := DecodeSigned(data); err == nil {
 			_ = Verify(img)
+		}
+	})
+}
+
+// FuzzVerifyCompartments throws malformed region tables — overlapping
+// regions, zero-length, out-of-segment, bad permission bits, wrong
+// kinds — at the verifier. The invariant: Verify never panics, and
+// anything it accepts must have a valid layout that a VM will
+// instantiate and that survives an encode/decode round trip.
+func FuzzVerifyCompartments(f *testing.F) {
+	// Seeds: the canonical default layout plus one of each malformation.
+	d := DefaultLayout(64 << 10)
+	add := func(r1, r2 Region) {
+		f.Add(d.SegSize,
+			r1.Off, r1.Size, uint8(r1.Kind), uint8(r1.Perm),
+			r2.Off, r2.Size, uint8(r2.Kind), uint8(r2.Perm), true)
+	}
+	add(d.Regions[0], d.Regions[3])                                     // heap + stack: valid
+	add(Region{Off: 0, Size: 4096, Perm: 3}, Region{Off: 2048, Size: 4096, Kind: 1, Perm: 3})        // overlapping
+	add(Region{Off: 0, Size: 0, Perm: 3}, Region{Off: 4096, Size: 4096, Kind: 1, Perm: 3})           // zero-length
+	add(Region{Off: 0, Size: 4096, Perm: 3}, Region{Off: 1 << 40, Size: 4096, Kind: 1, Perm: 3})     // out of segment
+	add(Region{Off: 0, Size: 4096, Perm: 7}, Region{Off: 4096, Size: 4096, Kind: 1, Perm: 3})        // bad perm bits
+	add(Region{Off: 0, Size: 4096, Kind: 9, Perm: 3}, Region{Off: 4096, Size: 4096, Kind: 1, Perm: 3}) // bad kind
+	f.Fuzz(func(t *testing.T, segSize,
+		off1, size1 int64, kind1, perm1 uint8,
+		off2, size2 int64, kind2, perm2 uint8, safe bool) {
+		img := &Image{
+			Name: "fuzz-comp",
+			Code: []Instr{
+				{Op: ADDI, Rd: 1, Rs1: RegHeapBase, Imm: 16},
+				{Op: CHKW, Rd: 1, Imm: 8},
+				{Op: ST, Rs1: 1, Rs2: 2},
+				{Op: RET},
+			},
+			Funcs: map[string]int{"main": 0},
+			Safe:  safe,
+			Layout: &Layout{SegSize: segSize, Regions: []Region{
+				{Name: "a", Kind: RegionKind(kind1), Off: off1, Size: size1, Perm: Perm(perm1)},
+				{Name: "b", Kind: RegionKind(kind2), Off: off2, Size: size2, Perm: Perm(perm2)},
+			}},
+		}
+		if err := Verify(img); err != nil {
+			return
+		}
+		if err := img.Layout.Validate(); err != nil {
+			t.Fatalf("Verify accepted an invalid layout: %v", err)
+		}
+		back, err := Decode(img.Encode())
+		if err != nil {
+			t.Fatalf("accepted image does not round-trip: %v", err)
+		}
+		if err := Verify(back); err != nil {
+			t.Fatalf("round-tripped image no longer verifies: %v", err)
+		}
+		if segSize <= 1<<20 { // keep the fuzz arena small
+			if _, err := NewVM(img, Config{}); err != nil {
+				t.Fatalf("verified image rejected by the VM: %v", err)
+			}
 		}
 	})
 }

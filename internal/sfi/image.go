@@ -33,6 +33,12 @@ type Image struct {
 	Funcs map[string]int
 	// CallTargets are the code addresses that CALLR may reach.
 	CallTargets []int
+	// Layout, when non-nil, is the compartment description: the segment
+	// is split into typed regions and the rewriter lowers accesses to
+	// per-region bounds+permission checks instead of the flat SANDBOX
+	// mask. Nil keeps the classic flat pipeline (and the GIR1 encoding)
+	// bit-for-bit.
+	Layout *Layout
 	// Safe records that the image has passed the SFI rewriter.
 	Safe bool
 	// Sig is the toolchain signature over the canonical encoding.
@@ -47,6 +53,7 @@ func (img *Image) Clone() *Image {
 		Data:        append([]byte(nil), img.Data...),
 		Symbols:     append([]string(nil), img.Symbols...),
 		CallTargets: append([]int(nil), img.CallTargets...),
+		Layout:      img.Layout.Clone(),
 		Safe:        img.Safe,
 		Sig:         append([]byte(nil), img.Sig...),
 	}
@@ -66,13 +73,24 @@ func (img *Image) Entry(name string) (int, error) {
 	return pc, nil
 }
 
-const imageMagic = "GIR1"
+// imageMagic is the classic (flat-sandbox) encoding; imageMagicV2
+// appends a compartment region table. Layout-less images keep the GIR1
+// byte stream exactly, so their signatures and durable checkpoints are
+// unchanged by the compartment feature.
+const (
+	imageMagic   = "GIR1"
+	imageMagicV2 = "GIR2"
+)
 
 // Encode serialises the image (without the signature) in the canonical
 // form used both for file I/O and as the signing payload.
 func (img *Image) Encode() []byte {
 	var b bytes.Buffer
-	b.WriteString(imageMagic)
+	if img.Layout != nil {
+		b.WriteString(imageMagicV2)
+	} else {
+		b.WriteString(imageMagic)
+	}
 	writeString := func(s string) {
 		var n [4]byte
 		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
@@ -123,6 +141,17 @@ func (img *Image) Encode() []byte {
 	for _, t := range img.CallTargets {
 		writeU32(uint32(t))
 	}
+	if img.Layout != nil {
+		writeI64(img.Layout.SegSize)
+		writeU32(uint32(len(img.Layout.Regions)))
+		for _, r := range img.Layout.Regions {
+			writeString(r.Name)
+			b.WriteByte(byte(r.Kind))
+			writeI64(r.Off)
+			writeI64(r.Size)
+			b.WriteByte(byte(r.Perm))
+		}
+	}
 	return b.Bytes()
 }
 
@@ -171,7 +200,8 @@ func DecodeSigned(data []byte) (*Image, error) {
 
 func decodeBody(data []byte) (*Image, []byte, error) {
 	r := &reader{data: data}
-	if string(r.bytes(4)) != imageMagic {
+	magic := string(r.bytes(4))
+	if magic != imageMagic && magic != imageMagicV2 {
 		return nil, nil, errors.New("sfi: bad image magic")
 	}
 	img := &Image{Funcs: make(map[string]int)}
@@ -208,6 +238,23 @@ func decodeBody(data []byte) (*Image, []byte, error) {
 	nTargets := r.u32()
 	for i := 0; i < int(nTargets) && r.err == nil; i++ {
 		img.CallTargets = append(img.CallTargets, int(r.u32()))
+	}
+	if magic == imageMagicV2 && r.err == nil {
+		l := &Layout{SegSize: r.i64()}
+		nRegions := r.u32()
+		if r.err == nil && int(nRegions) > len(data) {
+			return nil, nil, fmt.Errorf("sfi: implausible region count %d", nRegions)
+		}
+		for i := 0; i < int(nRegions) && r.err == nil; i++ {
+			var reg Region
+			reg.Name = r.str()
+			reg.Kind = RegionKind(r.byte())
+			reg.Off = r.i64()
+			reg.Size = r.i64()
+			reg.Perm = Perm(r.byte())
+			l.Regions = append(l.Regions, reg)
+		}
+		img.Layout = l
 	}
 	if r.err != nil {
 		return nil, nil, r.err

@@ -74,6 +74,13 @@ const (
 	// certified by the verifier.
 	SANDBOX // rd <- segBase | (rd & (segSize-1))
 	CHKCALL // trap unless rs1 is a registered indirect-call target
+	// Compartment region checks (images carrying a Layout). Unlike
+	// SANDBOX these trap instead of masking: Imm is the access width and
+	// the check demands one region (or active grant) wholly containing
+	// [rd, rd+Imm) with the required permission.
+	CHKR // trap unless [rd, rd+imm) is readable in the compartment layout
+	CHKW // trap unless [rd, rd+imm) is writable in the compartment layout
+	CHKS // trap unless [rd, rd+imm) is writable *stack* (confines pushes)
 	opCount
 )
 
@@ -85,6 +92,7 @@ var opNames = [...]string{
 	LD: "ld", LDB: "ldb", ST: "st", STB: "stb", PUSH: "push", POP: "pop",
 	CALL: "call", CALLR: "callr", CALLK: "callk", RET: "ret",
 	HALT: "halt", LEA: "lea", SANDBOX: "sandbox", CHKCALL: "chkcall",
+	CHKR: "chkr", CHKW: "chkw", CHKS: "chks",
 }
 
 func (o Op) String() string {
@@ -155,6 +163,8 @@ func (i Instr) String() string {
 		return fmt.Sprintf("sandbox %s", r(i.Rd))
 	case CHKCALL:
 		return fmt.Sprintf("chkcall %s", r(i.Rs1))
+	case CHKR, CHKW, CHKS:
+		return fmt.Sprintf("%s %s, %d", i.Op, r(i.Rd), i.Imm)
 	}
 	return fmt.Sprintf("%s rd=%d rs1=%d rs2=%d imm=%d", i.Op, i.Rd, i.Rs1, i.Rs2, i.Imm)
 }
@@ -204,11 +214,15 @@ type Costs struct {
 	ChkCall int64
 	Call    int64
 	CallK   int64
+	// RegionCheck is the per-access cost of a compartment bounds+perm
+	// check (CHKR/CHKW/CHKS) — a compare chain over the region table
+	// rather than SANDBOX's single mask, hence slightly dearer.
+	RegionCheck int64
 }
 
 // DefaultCosts returns the paper-calibrated cost model.
 func DefaultCosts() Costs {
-	return Costs{Default: 1, MulDiv: 10, Mem: 2, Sandbox: 3, ChkCall: 12, Call: 4, CallK: 35}
+	return Costs{Default: 1, MulDiv: 10, Mem: 2, Sandbox: 3, ChkCall: 12, Call: 4, CallK: 35, RegionCheck: 4}
 }
 
 // cost returns the cycle cost of executing one instruction.
@@ -220,6 +234,8 @@ func (c Costs) cost(op Op) int64 {
 		return c.Mem
 	case SANDBOX:
 		return c.Sandbox
+	case CHKR, CHKW, CHKS:
+		return c.RegionCheck
 	case CHKCALL:
 		return c.ChkCall
 	case CALL, CALLR, RET:

@@ -38,6 +38,16 @@ type RewriteOptions struct {
 //	pop  rd           =>  sandbox sp; ld rd, [sp]; addi sp, sp, 8
 //	callr r           =>  chkcall r; callr r
 //
+// For an image carrying a compartment Layout the mask is replaced by a
+// trapping per-region bounds+permission check of the access width
+// (loads must hit readable space, stores writable space, pushes the
+// stack region specifically):
+//
+//	ld  rd, [rs+off]  =>  addi s0, rs, off; chkr s0, 8; ld  rd, [s0]
+//	st  [rs+off], r   =>  addi s0, rs, off; chkw s0, 8; st  [s0], r
+//	push r            =>  addi sp, sp, -8;  chks sp, 8; st  [sp], r
+//	pop  rd           =>  chkr sp, 8; ld rd, [sp]; addi sp, sp, 8
+//
 // The cost is 2 extra instructions (a few cycles) per load or store and
 // one hash probe per indirect call — the same overhead structure the
 // paper measures. The rewritten image is marked Safe; its signature is
@@ -79,12 +89,25 @@ func RewriteWith(img *Image, opts RewriteOptions) (*Image, RewriteStats, error) 
 			code = append(code, ins)
 			continue
 		}
+		comp := img.Layout != nil
 		switch ins.Op {
 		case LD, LDB, ST, STB:
 			stats.MemOpsProtected++
+			width := int64(8)
+			if ins.Op == LDB || ins.Op == STB {
+				width = 1
+			}
+			check := Instr{Op: SANDBOX, Rd: RegScratch0}
+			if comp {
+				chk := CHKR
+				if ins.Op == ST || ins.Op == STB {
+					chk = CHKW
+				}
+				check = Instr{Op: chk, Rd: RegScratch0, Imm: width}
+			}
 			code = append(code,
 				Instr{Op: ADDI, Rd: RegScratch0, Rs1: ins.Rs1, Imm: ins.Imm},
-				Instr{Op: SANDBOX, Rd: RegScratch0},
+				check,
 			)
 			prot := ins
 			prot.Rs1 = RegScratch0
@@ -92,15 +115,23 @@ func RewriteWith(img *Image, opts RewriteOptions) (*Image, RewriteStats, error) 
 			code = append(code, prot)
 		case PUSH:
 			stats.MemOpsProtected++
+			check := Instr{Op: SANDBOX, Rd: RegSP}
+			if comp {
+				check = Instr{Op: CHKS, Rd: RegSP, Imm: 8}
+			}
 			code = append(code,
 				Instr{Op: ADDI, Rd: RegSP, Rs1: RegSP, Imm: -8},
-				Instr{Op: SANDBOX, Rd: RegSP},
+				check,
 				Instr{Op: ST, Rs1: RegSP, Rs2: ins.Rs1},
 			)
 		case POP:
 			stats.MemOpsProtected++
+			check := Instr{Op: SANDBOX, Rd: RegSP}
+			if comp {
+				check = Instr{Op: CHKR, Rd: RegSP, Imm: 8}
+			}
 			code = append(code,
-				Instr{Op: SANDBOX, Rd: RegSP},
+				check,
 				Instr{Op: LD, Rd: ins.Rd, Rs1: RegSP},
 				Instr{Op: ADDI, Rd: RegSP, Rs1: RegSP, Imm: 8},
 			)

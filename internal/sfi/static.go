@@ -78,8 +78,22 @@ func staticEval(img *Image, access func(pc int, ins Instr, ok bool)) bool {
 					width = 1
 				}
 				ok := baseStable && s.known &&
-					s.delta >= -maxDelta && s.delta <= maxDelta &&
-					off >= 0 && off+width <= MinSegSize
+					s.delta >= -maxDelta && s.delta <= maxDelta
+				if ok {
+					if img.Layout != nil {
+						// Compartmented image: the proof is against the
+						// exact region table — one region must wholly
+						// contain the access with the right permission,
+						// so a discharge can never cross a region
+						// boundary or launder a write into RO/share
+						// space. Grants are dispatch-dynamic and never
+						// statically provable.
+						write := ins.Op == ST || ins.Op == STB
+						ok = img.Layout.allows(off, width, write)
+					} else {
+						ok = off >= 0 && off+width <= MinSegSize
+					}
+				}
 				access(pc, ins, ok)
 			case PUSH, POP:
 				access(pc, ins, false) // sp is never statically tracked

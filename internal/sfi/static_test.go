@@ -201,6 +201,48 @@ func TestVerifierRejectsForgedDischarge(t *testing.T) {
 	}
 }
 
+func TestVerifierRejectsForgedDischargeAcrossRegion(t *testing.T) {
+	// The compartment analogue of the forged-discharge attack: the
+	// store sits at base+1032, comfortably inside the flat MinSegSize
+	// window the classic proof uses — but the image's own layout puts
+	// that offset in the read-only region. A hand-edited image that
+	// drops the check must fail the verifier's region-aware re-proof.
+	layout := &Layout{
+		SegSize: MinSegSize,
+		Regions: []Region{
+			{Name: "heap", Kind: RegionHeap, Off: 0, Size: 1024, Perm: PermRW},
+			{Name: "ro", Kind: RegionRO, Off: 1024, Size: 1024, Perm: PermRead},
+			{Name: "stack", Kind: RegionStack, Off: 2048, Size: 2048, Perm: PermRW},
+		},
+	}
+	forge := func(imm int64) *Image {
+		return &Image{
+			Name: "forged-region",
+			Code: []Instr{
+				{Op: ADDI, Rd: 1, Rs1: RegHeapBase, Imm: imm},
+				{Op: ST, Rs1: 1, Rs2: 2}, // unchecked store, claims discharge
+				{Op: RET},
+			},
+			Funcs:  map[string]int{"main": 0},
+			Layout: layout.Clone(),
+			Safe:   true,
+		}
+	}
+	if err := Verify(forge(1032)); err == nil {
+		t.Fatal("discharged store into the read-only region accepted")
+	}
+	// Same shape, one byte short of the heap/ro boundary: an 8-byte
+	// store at 1020 straddles into ro and must also be rejected.
+	if err := Verify(forge(1020)); err == nil {
+		t.Fatal("discharged store across a region boundary accepted")
+	}
+	// Control: the identical image aimed at the heap is a genuine
+	// discharge and verifies.
+	if err := Verify(forge(16)); err != nil {
+		t.Fatalf("genuine in-heap discharge rejected: %v", err)
+	}
+}
+
 func TestVerifierAcceptsGenuineDischarge(t *testing.T) {
 	img := &Image{
 		Name: "genuine",

@@ -16,11 +16,41 @@ func BuildSafeOptimized(src string, signer *Signer) (*Image, RewriteStats, error
 	return buildSafe(src, signer, RewriteOptions{StaticDischarge: true})
 }
 
+// BuildCompartmented is BuildSafe for the compartment pipeline: the
+// image carries a per-region memory view (its own `.layout` if the
+// source declares one, else DefaultLayout over the standard 64 KiB
+// segment) and the rewriter lowers accesses to trapping region checks
+// instead of the flat mask.
+func BuildCompartmented(src string, signer *Signer) (*Image, RewriteStats, error) {
+	return buildCompartmented(src, signer, RewriteOptions{})
+}
+
+// BuildCompartmentedOptimized is BuildCompartmented with static
+// discharge on; discharges are proven against the exact region bounds.
+func BuildCompartmentedOptimized(src string, signer *Signer) (*Image, RewriteStats, error) {
+	return buildCompartmented(src, signer, RewriteOptions{StaticDischarge: true})
+}
+
+func buildCompartmented(src string, signer *Signer, opts RewriteOptions) (*Image, RewriteStats, error) {
+	img, err := Assemble(src)
+	if err != nil {
+		return nil, RewriteStats{}, err
+	}
+	if img.Layout == nil {
+		img.Layout = DefaultLayout(64 << 10)
+	}
+	return buildVerified(img, signer, opts)
+}
+
 func buildSafe(src string, signer *Signer, opts RewriteOptions) (*Image, RewriteStats, error) {
 	img, err := Assemble(src)
 	if err != nil {
 		return nil, RewriteStats{}, err
 	}
+	return buildVerified(img, signer, opts)
+}
+
+func buildVerified(img *Image, signer *Signer, opts RewriteOptions) (*Image, RewriteStats, error) {
 	if err := Verify(img); err != nil {
 		return nil, RewriteStats{}, fmt.Errorf("pre-rewrite: %w", err)
 	}

@@ -23,6 +23,15 @@ import (
 //     check and its protected instruction, so the check cannot be
 //     bypassed by a jump.
 //
+// For an image carrying a compartment Layout the masking discipline is
+// replaced by the region-check discipline: the layout itself must
+// validate, SANDBOX is forbidden (a mask could move an address across
+// region boundaries), and every unchecked access must be preceded by a
+// matching-width CHKR (loads) or CHKW/CHKS (stores) of its address
+// register. Static discharges are re-proven against the exact region
+// bounds and permissions, so a forged image cannot discharge an access
+// across a boundary or into read-only space.
+//
 // Together with the signature this realises the paper's rule 6: "the
 // kernel must not execute grafts that are not known to be safe."
 func Verify(img *Image) error {
@@ -43,6 +52,16 @@ func Verify(img *Image) error {
 			if ins.Imm < 0 || ins.Imm >= int64(len(img.Symbols)) {
 				return fmt.Errorf("sfi: verify: pc=%d: callk symbol index %d outside symbol table", pc, ins.Imm)
 			}
+		}
+		if ins.Op == CHKR || ins.Op == CHKW || ins.Op == CHKS {
+			if ins.Imm != 1 && ins.Imm != 8 {
+				return fmt.Errorf("sfi: verify: pc=%d: %s width %d (want 1 or 8)", pc, ins.Op, ins.Imm)
+			}
+		}
+	}
+	if img.Layout != nil {
+		if err := img.Layout.Validate(); err != nil {
+			return fmt.Errorf("sfi: verify: %w", err)
 		}
 	}
 	for name, pc := range img.Funcs {
@@ -76,27 +95,60 @@ func verifySafe(img *Image) error {
 			staticOK[pc] = true
 		}
 	})
+	comp := img.Layout != nil
 	for pc, ins := range img.Code {
 		switch ins.Op {
 		case PUSH, POP:
 			return fmt.Errorf("sfi: verify: pc=%d: raw %s in safe image (rewriter expands these)", pc, ins.Op)
+		case SANDBOX:
+			if comp {
+				// A flat mask can move an address across region
+				// boundaries, laundering a denied access into an
+				// allowed-looking one; compartmented images must use
+				// the trapping region checks exclusively.
+				return fmt.Errorf("sfi: verify: pc=%d: sandbox mask in compartmented image", pc)
+			}
+		case CHKR, CHKW, CHKS:
+			if !comp {
+				return fmt.Errorf("sfi: verify: pc=%d: %s in image without a compartment layout", pc, ins.Op)
+			}
 		case LD, LDB, ST, STB:
 			if staticOK[pc] {
-				continue // provably in-segment without a mask
+				continue // provably in-region (or in-segment) without a check
 			}
 			addrReg := ins.Rs1
+			width := int64(8)
+			if ins.Op == LDB || ins.Op == STB {
+				width = 1
+			}
 			if ins.Imm != 0 {
 				return fmt.Errorf("sfi: verify: pc=%d: protected %s must use zero displacement", pc, ins.Op)
 			}
 			if pc == 0 {
-				return fmt.Errorf("sfi: verify: pc=0: memory access with no preceding sandbox")
+				return fmt.Errorf("sfi: verify: pc=0: memory access with no preceding check")
 			}
 			prev := img.Code[pc-1]
-			if prev.Op != SANDBOX || prev.Rd != addrReg {
+			if comp {
+				// Loads need a CHKR of the same register and width;
+				// stores a CHKW, or the stack-confining CHKS for the
+				// 8-byte push expansion.
+				okCheck := false
+				switch ins.Op {
+				case LD, LDB:
+					okCheck = prev.Op == CHKR
+				case ST:
+					okCheck = prev.Op == CHKW || prev.Op == CHKS
+				case STB:
+					okCheck = prev.Op == CHKW
+				}
+				if !okCheck || prev.Rd != addrReg || prev.Imm != width {
+					return fmt.Errorf("sfi: verify: pc=%d: %s not preceded by a matching region check of %s (width %d)", pc, ins.Op, regName(addrReg), width)
+				}
+			} else if prev.Op != SANDBOX || prev.Rd != addrReg {
 				return fmt.Errorf("sfi: verify: pc=%d: %s not preceded by sandbox of %s", pc, ins.Op, regName(addrReg))
 			}
 			if landing[pc] {
-				return fmt.Errorf("sfi: verify: pc=%d: jump target lands on protected %s, bypassing its sandbox", pc, ins.Op)
+				return fmt.Errorf("sfi: verify: pc=%d: jump target lands on protected %s, bypassing its check", pc, ins.Op)
 			}
 		case CALLR:
 			if pc == 0 {

@@ -18,10 +18,22 @@ type Violation struct {
 	PC     int
 	Ins    string
 	Detail string
+	// Compartment marks a per-region bounds/permission trap (CHKR/CHKW/
+	// CHKS): the graft tried to read or write memory its compartment
+	// layout denies. The dispatch layer escalates these into classified
+	// sfi-violation kernel panics when crash containment is armed.
+	Compartment bool
 }
 
 func (v *Violation) Error() string {
 	return fmt.Sprintf("sfi: violation at pc=%d (%s): %s", v.PC, v.Ins, v.Detail)
+}
+
+// IsCompartmentViolation reports whether err is (or wraps) a
+// compartment region-check trap.
+func IsCompartmentViolation(err error) bool {
+	var v *Violation
+	return errors.As(err, &v) && v.Compartment
 }
 
 // CrashError is what happens when an *unprotected* graft escapes its
@@ -92,12 +104,40 @@ type VM struct {
 	maxCyc  int64
 	kernel  []KernelFunc
 	table   *CallTable
+	// Compartment state (nil layout = classic flat sandbox).
+	layout    *Layout
+	grants    []grantWindow
+	nextGrant int
+}
+
+// grantWindow is one per-dispatch shared-buffer grant inside the share
+// region; segment-relative like Region bounds.
+type grantWindow struct {
+	id   int
+	off  int64
+	size int64
+	perm Perm
 }
 
 // NewVM prepares a VM for the image. The image's initial data is copied
 // to the bottom of the segment; kernel memory below the segment is
 // zeroed (the kernel may seed it via KernelMemory for experiments).
 func NewVM(img *Image, cfg Config) (*VM, error) {
+	if img.Layout != nil {
+		// The layout's static-discharge proofs are against its exact
+		// region bounds, so the segment size is dictated by the image:
+		// a mismatched VM would turn those proofs into lies.
+		if err := img.Layout.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.SegSize != 0 && int64(cfg.SegSize) != img.Layout.SegSize {
+			return nil, fmt.Errorf("sfi: VM segment %d does not match the image's compartment layout (%d)", cfg.SegSize, img.Layout.SegSize)
+		}
+		cfg.SegSize = int(img.Layout.SegSize)
+		if heap := img.Layout.Regions[0]; int64(len(img.Data)) > heap.Size {
+			return nil, fmt.Errorf("sfi: image data (%d bytes) exceeds heap region (%d)", len(img.Data), heap.Size)
+		}
+	}
 	if cfg.SegSize == 0 {
 		cfg.SegSize = 64 << 10
 	}
@@ -131,6 +171,7 @@ func NewVM(img *Image, cfg Config) (*VM, error) {
 		hookEvr: cfg.HookEvery,
 		maxCyc:  cfg.MaxCycles,
 		table:   NewCallTable(img.CallTargets),
+		layout:  img.Layout,
 	}
 	if cfg.Costs != nil {
 		vm.costs = *cfg.Costs
@@ -218,6 +259,11 @@ func (vm *VM) Call(entry string, args ...int64) (int64, error) {
 	vm.regs[RegHeapBase] = int64(vm.segBase)
 	vm.regs[RegHeapSize] = int64(vm.segSize)
 	vm.regs[RegSP] = int64(vm.segBase + vm.segSize)
+	if vm.layout != nil {
+		if st, ok := vm.layout.Region(RegionStack); ok {
+			vm.regs[RegSP] = int64(vm.segBase) + st.Off + st.Size
+		}
+	}
 	vm.shadow = vm.shadow[:0]
 	defer vm.flush()
 	if err := vm.run(pc); err != nil {
@@ -398,6 +444,10 @@ func (vm *VM) run(pc int) error {
 			return nil
 		case SANDBOX:
 			r[ins.Rd] = int64(vm.segBase | (uint64(r[ins.Rd]) & (vm.segSize - 1)))
+		case CHKR, CHKW, CHKS:
+			if err := vm.regionCheck(pc, ins); err != nil {
+				return err
+			}
 		case CHKCALL:
 			if !vm.table.Contains(r[ins.Rs1]) {
 				return &Violation{PC: pc, Ins: ins.String(), Detail: fmt.Sprintf("indirect call to unregistered target %d", r[ins.Rs1])}
@@ -407,6 +457,116 @@ func (vm *VM) run(pc int) error {
 		}
 		pc++
 	}
+}
+
+// regionCheck executes CHKR/CHKW/CHKS: trap unless one region (or, for
+// data checks, one active grant) wholly contains [rd, rd+Imm) with the
+// required permission. CHKS additionally demands the region be the
+// stack, confining pushes to it.
+func (vm *VM) regionCheck(pc int, ins Instr) error {
+	viol := func(detail string) error {
+		return &Violation{PC: pc, Ins: ins.String(), Detail: detail, Compartment: true}
+	}
+	if vm.layout == nil {
+		return viol("region check in an image without a compartment layout")
+	}
+	addr := vm.regs[ins.Rd]
+	width := ins.Imm
+	if width != 1 && width != 8 {
+		return viol(fmt.Sprintf("bad check width %d", width))
+	}
+	off := addr - int64(vm.segBase)
+	if off < 0 || off+width > vm.layout.SegSize {
+		return viol(fmt.Sprintf("access of %d bytes at address %d outside the compartment segment", width, addr))
+	}
+	need := PermRead
+	if ins.Op == CHKW || ins.Op == CHKS {
+		need = PermWrite
+	}
+	reg := vm.layout.Find(off, width)
+	if ins.Op == CHKS {
+		if reg == nil || reg.Kind != RegionStack {
+			return viol(fmt.Sprintf("stack write at segment offset %d escapes the stack region", off))
+		}
+	}
+	if reg != nil && reg.Perm&need == need {
+		return nil
+	}
+	if ins.Op != CHKS {
+		for _, g := range vm.grants {
+			if off >= g.off && off+width <= g.off+g.size && g.perm&need == need {
+				return nil
+			}
+		}
+	}
+	what := "read"
+	if need == PermWrite {
+		what = "write"
+	}
+	if reg != nil {
+		return viol(fmt.Sprintf("%s of %d bytes at segment offset %d denied by region %q (%s, %s)", what, width, off, reg.Name, reg.Kind, reg.Perm))
+	}
+	return viol(fmt.Sprintf("%s of %d bytes at segment offset %d hits no region or active grant", what, width, off))
+}
+
+// Layout returns the compartment layout installed in this VM (nil for
+// flat-sandbox images).
+func (vm *VM) Layout() *Layout { return vm.layout }
+
+// Grant opens a per-dispatch shared-buffer window: [off, off+size)
+// must lie inside the layout's share region, which is otherwise
+// inaccessible to the graft. Returns a grant id for Revoke. The
+// dispatch layer revokes all grants when the dispatch returns, so a
+// cached pointer is dead the moment the graft comes back.
+func (vm *VM) Grant(off, size int64, perm Perm) (int, error) {
+	if vm.layout == nil {
+		return 0, errors.New("sfi: grant on an image without a compartment layout")
+	}
+	if size <= 0 || perm == PermNone || perm&^PermRW != 0 {
+		return 0, fmt.Errorf("sfi: bad grant [%d,%d) perm %d", off, off+size, perm)
+	}
+	r := vm.layout.Find(off, size)
+	if r == nil || r.Kind != RegionShare {
+		return 0, fmt.Errorf("sfi: grant window [%d,%d) outside the share region", off, off+size)
+	}
+	vm.nextGrant++
+	vm.grants = append(vm.grants, grantWindow{id: vm.nextGrant, off: off, size: size, perm: perm})
+	return vm.nextGrant, nil
+}
+
+// Revoke withdraws one grant.
+func (vm *VM) Revoke(id int) {
+	for i, g := range vm.grants {
+		if g.id == id {
+			vm.grants = append(vm.grants[:i], vm.grants[i+1:]...)
+			return
+		}
+	}
+}
+
+// RevokeGrants withdraws every active grant (dispatch-return barrier).
+func (vm *VM) RevokeGrants() { vm.grants = vm.grants[:0] }
+
+// ActiveGrants returns the number of live grant windows.
+func (vm *VM) ActiveGrants() int { return len(vm.grants) }
+
+// SeedRegion copies kernel-side data into the first region of the
+// given kind and returns its absolute base address. This is how the
+// kernel exports read-only data or stages a shared buffer; kernel-side
+// writes are trusted and bypass the graft-facing permission checks.
+func (vm *VM) SeedRegion(kind RegionKind, data []byte) (int64, error) {
+	if vm.layout == nil {
+		return 0, errors.New("sfi: no compartment layout to seed")
+	}
+	r, ok := vm.layout.Region(kind)
+	if !ok {
+		return 0, fmt.Errorf("sfi: layout has no %s region", kind)
+	}
+	if int64(len(data)) > r.Size {
+		return 0, fmt.Errorf("sfi: %d bytes exceed %s region (%d)", len(data), kind, r.Size)
+	}
+	copy(vm.arena[vm.segBase+uint64(r.Off):], data)
+	return int64(vm.segBase) + r.Off, nil
 }
 
 func b2i(b bool) int64 {

@@ -63,9 +63,15 @@ func Causes() []AbortCause {
 }
 
 // ClassifyPanicCause maps a classified kernel panic onto the cause fed
-// into the guard health ledger. Every class maps to CauseCrash today;
-// the indirection keeps the taxonomy mapping in one place.
-func ClassifyPanicCause(class crash.Class) AbortCause { return CauseCrash }
+// into the guard health ledger. Compartment violations keep their SFI
+// identity in the ledger (they are sandbox traps, escalated); every
+// other class bills as CauseCrash.
+func ClassifyPanicCause(class crash.Class) AbortCause {
+	if class == crash.SFIViolation {
+		return CauseSFITrap
+	}
+	return CauseCrash
+}
 
 // ClassifyAbort maps an abort reason (typically the *AbortedError
 // returned by Run, or its unwrapped Reason) onto a cause bucket by

@@ -166,8 +166,14 @@ func TestCrashInReentrantAbort(t *testing.T) {
 
 func TestClassifyPanicCause(t *testing.T) {
 	for _, c := range crash.Classes() {
-		if got := ClassifyPanicCause(c); got != CauseCrash {
-			t.Errorf("ClassifyPanicCause(%s) = %v, want CauseCrash", c, got)
+		want := CauseCrash
+		if c == crash.SFIViolation {
+			// Escalated compartment traps keep their SFI identity in
+			// the health ledger.
+			want = CauseSFITrap
+		}
+		if got := ClassifyPanicCause(c); got != want {
+			t.Errorf("ClassifyPanicCause(%s) = %v, want %v", c, got, want)
 		}
 	}
 }
