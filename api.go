@@ -175,6 +175,17 @@ func WithCheckpointDir(dir string) Option {
 	return func(c *Config) { c.CheckpointDir = dir }
 }
 
+// WithoutTranslation forces every graft onto the interpreting VM
+// engine. By default the loader compiles verified images to native Go
+// closures at install time (the sandbox checks are inlined into the
+// closure bodies and still trap identically); the interpreter remains
+// the deterministic oracle, and this option selects it outright —
+// useful for differential debugging and oracle-vs-translated A/B runs.
+// Same seeds produce byte-identical traces either way.
+func WithoutTranslation() Option {
+	return func(c *Config) { c.NoTranslate = true }
+}
+
 // -----------------------------------------------------------------------------
 // Toolchain: the trusted graft build pipeline as a value.
 // -----------------------------------------------------------------------------
@@ -266,6 +277,16 @@ func DefaultCompartmentLayout(segSize int) *CompartmentLayout { return sfi.Defau
 // so demos can run an Unsafe image outside any kernel and observe the
 // damage SFI would have prevented.
 type GraftVM = sfi.VM
+
+// TranslatedProgram is a verified graft image compiled to native Go
+// closures (the install-time translation engine). Programs are image
+// constants: one program serves every VM of the same image bytes.
+type TranslatedProgram = sfi.Program
+
+// TranslateImage compiles a verified image to a TranslatedProgram. The
+// loader does this automatically at install time; the explicit form
+// exists for demos and for pairing with NewGraftVM via sfi.Config.
+func TranslateImage(img *Image) (*TranslatedProgram, error) { return sfi.Translate(img) }
 
 // NewGraftVM instantiates a VM over an image with default segment
 // sizes and cost model.

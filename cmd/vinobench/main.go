@@ -23,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 	sweep := flag.String("sweep", "", "parameter sweep: abort | readahead | eviction | timeout | smp | checkpoint | recovery | sfi | campaign | fleet")
 	ablation := flag.String("ablation", "", "design-choice ablation: lock | sfidensity | misfitopt | txn")
 	check := flag.Bool("check", false, "run semantic cross-checks")
+	jsonOut := flag.Bool("json", false, "sweep sfi: emit the result as JSON (for checked-in baselines)")
 	ncpu := flag.Int("ncpu", 4, "smp sweep: largest simulated CPU count (sweeps powers of two up to it)")
 	workers := flag.Int("workers", 8, "campaign sweep: largest worker-pool size (sweeps powers of two up to it)")
 	runs := flag.Int("runs", 64, "campaign sweep: run budget per point")
@@ -155,7 +157,16 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(res); err != nil {
+					fail(err)
+				}
+				return
+			}
 			fmt.Println(res)
+			fmt.Println(res.HostSummary())
 		case "campaign":
 			var counts []int
 			for n := 1; n <= *workers; n *= 2 {

@@ -17,6 +17,33 @@ import (
 	vino "vino"
 )
 
+// onOffFlag is a boolean flag that reads as on/off and also accepts
+// the usual bool spellings, so both `-translate` and `-translate=off`
+// parse. The default is whatever the flag is initialised to.
+type onOffFlag bool
+
+func (f *onOffFlag) Set(s string) error {
+	switch s {
+	case "", "on", "true", "1":
+		*f = true
+	case "off", "false", "0":
+		*f = false
+	default:
+		return fmt.Errorf("want on or off, got %q", s)
+	}
+	return nil
+}
+
+func (f *onOffFlag) String() string {
+	if f != nil && *f {
+		return "on"
+	}
+	return "off"
+}
+
+// IsBoolFlag lets `-translate` (no value) mean on.
+func (f *onOffFlag) IsBoolFlag() bool { return true }
+
 // chaosFlags collects every chaos-family flag; register installs the
 // base set, registerCrash the crash-phase set.
 type chaosFlags struct {
@@ -34,6 +61,7 @@ type chaosFlags struct {
 	guardProbation int
 	varyInstalls   bool
 	redteam        bool
+	translate      onOffFlag
 
 	crash          bool
 	checkpoint     time.Duration
@@ -59,6 +87,8 @@ func (c *chaosFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&c.guardProbation, "guard-probation", 0, "clean commits required to clear probation (0 = policy default)")
 	fs.BoolVar(&c.varyInstalls, "varyinstalls", false, "randomize graft install options (watchdogs, transfers, handler order) from the seed")
 	fs.BoolVar(&c.redteam, "redteam", false, "arm the red-team phase (SFI escape corpus + in-kernel compartment-violation probe)")
+	c.translate = true
+	fs.Var(&c.translate, "translate", "run verified grafts on the translated closure engine (off = interpret; reports are byte-identical either way)")
 	fs.BoolVar(&showTrace, "trace", false, "dump the kernel flight recorder after the run")
 }
 
@@ -95,6 +125,7 @@ func (c *chaosFlags) build() (vino.ChaosConfig, error) {
 		CheckpointDir:      c.checkpointDir,
 		NoRecover:          c.norecover,
 		RedTeam:            c.redteam,
+		NoTranslate:        !bool(c.translate),
 	}
 	switch c.recoverScope {
 	case "", vino.RecoverScopeKernel:

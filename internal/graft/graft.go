@@ -250,6 +250,10 @@ type Installed struct {
 	vm        *sfi.VM
 	curThread *sched.Thread
 	removed   bool
+	// grantMark remembers the last grant-audit counters reported to the
+	// supervisor, per region, so each dispatch contributes only its
+	// delta to the health ledger.
+	grantMark map[string][2]int64
 }
 
 // VM exposes the graft's sandbox (the kernel seeds shared buffers

@@ -56,6 +56,13 @@ type Registry struct {
 	KernelMem int
 	// Costs overrides the VM cycle model (nil = sfi.DefaultCosts).
 	Costs *sfi.Costs
+	// NoTranslate disables install-time translation of verified images
+	// to native Go closures, forcing every graft onto the interpreter
+	// oracle. Translation is on by default: it is observably identical
+	// (same traps, same cycle accounting, same trace events) and only
+	// host wall-clock differs. Unsafe images always interpret — the
+	// "unsafe path" baseline measures the raw interpreter.
+	NoTranslate bool
 
 	// Trace, when set, receives graft lifecycle events (the kernel's
 	// flight recorder).
@@ -97,8 +104,13 @@ type Registry struct {
 	// whole-kernel restore cannot strand a physical charge whose undo
 	// or teardown the panic destroyed.
 	meterAccounts map[*resource.Account]bool
-	modGen        uint64 // generation of the last membership change
-	stats         Stats
+	// transCache shares translated programs across installs of the same
+	// image bytes, keyed by sfi.TranslationKey (a content hash, so a
+	// reinstall with different code can never be paired with a stale
+	// program — sfi.NewVM re-checks the key on top of that).
+	transCache map[string]*sfi.Program
+	modGen     uint64 // generation of the last membership change
+	stats      Stats
 }
 
 // stampMembership marks the point/install membership as modified in
@@ -359,11 +371,31 @@ func (r *Registry) link(g *Installed) error {
 			return res, nil
 		}
 	}
+	// Install-time translation: verified images are compiled to native
+	// Go closures once per distinct image and shared across installs.
+	// The interpreter remains the oracle (-translate=off / NoTranslate).
+	var prog *sfi.Program
+	if img.Safe && !r.NoTranslate {
+		key := sfi.TranslationKey(img)
+		if prog = r.transCache[key]; prog == nil {
+			p, err := sfi.Translate(img)
+			if err != nil {
+				r.stats.LinkFails++
+				return fmt.Errorf("graft: translate %q: %w", img.Name, err)
+			}
+			if r.transCache == nil {
+				r.transCache = make(map[string]*sfi.Program)
+			}
+			r.transCache[key] = p
+			prog = p
+		}
+	}
 	vm, err := sfi.NewVM(img, sfi.Config{
 		SegSize:   r.SegSize,
 		KernelMem: r.KernelMem,
 		Costs:     r.Costs,
 		Kernel:    kernelFns,
+		Program:   prog,
 		Hook: func(cycles int64) {
 			if g.curThread != nil {
 				g.curThread.ChargeCycles(cycles)
@@ -502,6 +534,11 @@ func (r *Registry) invokeSupervised(t *sched.Thread, g *Installed, probation boo
 	if sup == nil {
 		return r.invokeGraft(t, g, false, args)
 	}
+	// Harvest grant-window audit deltas into the health ledger on every
+	// return path, including a panicking escalation: the ledger survives
+	// crash recovery, so the audit trail of who used their grants does
+	// too.
+	defer r.harvestGrantAudit(g)
 	undoBefore := r.txns.Stats().UndoPanics
 	res, err := r.invokeGraft(t, g, probation, args)
 	key := g.GuardKey()
@@ -518,6 +555,31 @@ func (r *Registry) invokeSupervised(t *sched.Thread, g *Installed, probation boo
 		r.remove(g)
 	}
 	return res, err
+}
+
+// harvestGrantAudit forwards the VM's per-region grant-window access
+// counters to the supervisor as per-dispatch deltas (the VM counts for
+// its whole lifetime; grantMark remembers what was already reported).
+func (r *Registry) harvestGrantAudit(g *Installed) {
+	sup := r.Supervisor
+	if sup == nil || g.vm == nil {
+		return
+	}
+	audits := g.vm.GrantAudits()
+	if len(audits) == 0 {
+		return
+	}
+	key := g.GuardKey()
+	if g.grantMark == nil {
+		g.grantMark = make(map[string][2]int64, len(audits))
+	}
+	for _, a := range audits {
+		m := g.grantMark[a.Region]
+		if dr, dw := a.Reads-m[0], a.Writes-m[1]; dr > 0 || dw > 0 {
+			sup.RecordGrantAudit(key, a.Region, dr, dw)
+		}
+		g.grantMark[a.Region] = [2]int64{a.Reads, a.Writes}
+	}
 }
 
 // abortCause buckets an abort reason. Undo panics and the watchdog are

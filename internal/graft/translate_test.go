@@ -1,0 +1,221 @@
+package graft
+
+import (
+	"errors"
+	"testing"
+
+	"vino/internal/resource"
+	"vino/internal/sched"
+	"vino/internal/sfi"
+	"vino/internal/txn"
+)
+
+// shareSrc writes through the share-window region of the default
+// compartment layout: it only succeeds while a grant is open.
+const shareSrc = `
+.name sharer
+.func main
+main:
+    movi r1, 40960
+    add r1, r1, r10
+    movi r2, 7
+    st [r1+0], r2
+    movi r0, 1
+    ret
+`
+
+// roSrc stores into the read-only kernel-export region: always a trap.
+const roSrc = `
+.name rogue
+.func main
+main:
+    movi r1, 49152
+    add r1, r1, r10
+    st [r1+0], r2
+    ret
+`
+
+func (e *env) buildComp(t testing.TB, src string) *sfi.Image {
+	t.Helper()
+	img, _, err := sfi.BuildCompartmented(src, e.signer)
+	if err != nil {
+		t.Fatalf("BuildCompartmented: %v", err)
+	}
+	return img
+}
+
+// TestInstallTranslatesByDefault: a verified image installs onto the
+// translated closure engine unless the registry opts out.
+func TestInstallTranslatesByDefault(t *testing.T) {
+	e := newEnv()
+	p := e.reg.RegisterPoint(newFnPoint("p"))
+	img := e.buildComp(t, doubleSrc)
+	e.run(t, 100, func(th *sched.Thread, _ *resource.Account) {
+		g, err := e.reg.Install(th, "p", img, InstallOptions{})
+		if err != nil {
+			t.Fatalf("Install: %v", err)
+		}
+		if !g.VM().Translated() {
+			t.Error("default install did not translate a verified image")
+		}
+		if res, err := p.Invoke(th, 21); err != nil || res != 42 {
+			t.Errorf("translated invoke = %d, %v; want 42, nil", res, err)
+		}
+	})
+
+	e2 := newEnv()
+	e2.reg.NoTranslate = true
+	e2.reg.RegisterPoint(newFnPoint("p"))
+	e2.run(t, 100, func(th *sched.Thread, _ *resource.Account) {
+		g, err := e2.reg.Install(th, "p", e2.buildComp(t, doubleSrc), InstallOptions{})
+		if err != nil {
+			t.Fatalf("Install: %v", err)
+		}
+		if g.VM().Translated() {
+			t.Error("NoTranslate registry still translated the image")
+		}
+	})
+}
+
+// TestTranslationCacheSharedAcrossInstalls: the registry translates a
+// given image content once; later installs of the same bytes reuse the
+// identical Program.
+func TestTranslationCacheSharedAcrossInstalls(t *testing.T) {
+	e := newEnv()
+	e.reg.RegisterPoint(newFnPoint("a"))
+	e.reg.RegisterPoint(newFnPoint("b"))
+	img := e.buildComp(t, doubleSrc)
+	e.run(t, 100, func(th *sched.Thread, _ *resource.Account) {
+		ga, err := e.reg.Install(th, "a", img, InstallOptions{})
+		if err != nil {
+			t.Fatalf("Install a: %v", err)
+		}
+		gb, err := e.reg.Install(th, "b", img, InstallOptions{})
+		if err != nil {
+			t.Fatalf("Install b: %v", err)
+		}
+		if ga.VM().TranslatedProgram() != gb.VM().TranslatedProgram() {
+			t.Error("same image translated twice: the cache did not share the program")
+		}
+	})
+}
+
+// TestDispatchRevokesGrantsOnEveryReturnPath: a grant opened by the
+// PreGraft hook is dead once the dispatch returns — on commit, on an
+// SFI-violation abort, and on a validation failure alike.
+func TestDispatchRevokesGrantsOnEveryReturnPath(t *testing.T) {
+	grantPre := func(_ *sched.Thread, _ *txn.Txn, g *Installed, _ []int64) error {
+		_, err := g.VM().Grant(40960, 64, sfi.PermRW)
+		return err
+	}
+
+	t.Run("commit", func(t *testing.T) {
+		e := newEnv()
+		pt := newFnPoint("p")
+		pt.PreGraft = grantPre
+		p := e.reg.RegisterPoint(pt)
+		e.run(t, 100, func(th *sched.Thread, _ *resource.Account) {
+			g, err := e.reg.Install(th, "p", e.buildComp(t, shareSrc), InstallOptions{})
+			if err != nil {
+				t.Fatalf("Install: %v", err)
+			}
+			if res, err := p.Invoke(th); err != nil || res != 1 {
+				t.Fatalf("granted invoke = %d, %v; want 1, nil", res, err)
+			}
+			if n := g.VM().ActiveGrants(); n != 0 {
+				t.Errorf("%d grants still open after a committed dispatch", n)
+			}
+		})
+	})
+
+	t.Run("violation-abort", func(t *testing.T) {
+		e := newEnv()
+		pt := newFnPoint("p")
+		pt.PreGraft = grantPre
+		p := e.reg.RegisterPoint(pt)
+		e.run(t, 100, func(th *sched.Thread, _ *resource.Account) {
+			g, err := e.reg.Install(th, "p", e.buildComp(t, roSrc), InstallOptions{})
+			if err != nil {
+				t.Fatalf("Install: %v", err)
+			}
+			if _, err := p.Invoke(th); err == nil {
+				t.Fatal("read-only store committed")
+			}
+			if n := g.VM().ActiveGrants(); n != 0 {
+				t.Errorf("%d grants still open after an aborted dispatch", n)
+			}
+		})
+	})
+
+	t.Run("validation-failure", func(t *testing.T) {
+		e := newEnv()
+		pt := newFnPoint("p")
+		pt.PreGraft = grantPre
+		pt.Validate = func(_ *sched.Thread, _ []int64, res int64) (int64, error) {
+			return 0, errTestBadResult
+		}
+		p := e.reg.RegisterPoint(pt)
+		e.run(t, 100, func(th *sched.Thread, _ *resource.Account) {
+			g, err := e.reg.Install(th, "p", e.buildComp(t, shareSrc), InstallOptions{})
+			if err != nil {
+				t.Fatalf("Install: %v", err)
+			}
+			if _, err := p.Invoke(th); err == nil {
+				t.Fatal("validation failure did not abort")
+			}
+			if n := g.VM().ActiveGrants(); n != 0 {
+				t.Errorf("%d grants still open after a validation abort", n)
+			}
+		})
+	})
+}
+
+var errTestBadResult = errors.New("result rejected")
+
+// TestTranslatedGrantReplayTrapsLikeInterpreter: after the per-dispatch
+// revocation, replaying the grant-dependent graft traps — and the
+// translated engine produces byte-for-byte the interpreter's dispatch
+// error.
+func TestTranslatedGrantReplayTrapsLikeInterpreter(t *testing.T) {
+	replayErr := func(noTranslate bool) (translated bool, first error, replay error) {
+		e := newEnv()
+		e.reg.NoTranslate = noTranslate
+		granted := true
+		pt := newFnPoint("p")
+		pt.PreGraft = func(_ *sched.Thread, _ *txn.Txn, g *Installed, _ []int64) error {
+			if !granted {
+				return nil
+			}
+			_, err := g.VM().Grant(40960, 64, sfi.PermRW)
+			return err
+		}
+		p := e.reg.RegisterPoint(pt)
+		var g *Installed
+		e.run(t, 100, func(th *sched.Thread, _ *resource.Account) {
+			var err error
+			g, err = e.reg.Install(th, "p", e.buildComp(t, shareSrc), InstallOptions{})
+			if err != nil {
+				t.Fatalf("Install: %v", err)
+			}
+			_, first = p.Invoke(th)
+			granted = false
+			_, replay = p.Invoke(th)
+		})
+		return g.VM().Translated(), first, replay
+	}
+
+	transOn, firstOn, replayOn := replayErr(false)
+	transOff, firstOff, replayOff := replayErr(true)
+	if !transOn || transOff {
+		t.Fatalf("engine selection wrong: translate=%v noTranslate=%v", transOn, transOff)
+	}
+	if firstOn != nil || firstOff != nil {
+		t.Fatalf("granted dispatch failed: %v / %v", firstOn, firstOff)
+	}
+	if replayOn == nil || replayOff == nil {
+		t.Fatalf("revoked-grant replay did not trap: translated=%v interpreted=%v", replayOn, replayOff)
+	}
+	if replayOn.Error() != replayOff.Error() {
+		t.Fatalf("engines disagree on the replay trap:\ntranslated:  %q\ninterpreted: %q", replayOn, replayOff)
+	}
+}

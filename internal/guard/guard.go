@@ -228,6 +228,14 @@ type GraftHealth struct {
 	// ProbationLeft is the number of clean commits still required to
 	// clear probation.
 	ProbationLeft int
+	// GrantReads and GrantWrites audit the graft's use of per-dispatch
+	// shared-buffer grant windows, keyed by compartment region name:
+	// accesses its static layout denies that only a live grant allowed.
+	// A graft that hammers its grant windows is leaning on kernel-opened
+	// shared state rather than its own compartment — worth seeing next
+	// to its abort history.
+	GrantReads  map[string]int64
+	GrantWrites map[string]int64
 }
 
 type entry struct {
@@ -240,6 +248,14 @@ func (e *entry) snapshot() GraftHealth {
 	h.AbortsByCause = make(map[txn.AbortCause]int64, len(e.AbortsByCause))
 	for c, n := range e.AbortsByCause {
 		h.AbortsByCause[c] = n
+	}
+	h.GrantReads = make(map[string]int64, len(e.GrantReads))
+	for r, n := range e.GrantReads {
+		h.GrantReads[r] = n
+	}
+	h.GrantWrites = make(map[string]int64, len(e.GrantWrites))
+	for r, n := range e.GrantWrites {
+		h.GrantWrites[r] = n
 	}
 	return h
 }
@@ -273,6 +289,8 @@ func (s *Supervisor) get(key string) *entry {
 		e = &entry{GraftHealth: GraftHealth{
 			Key:           key,
 			AbortsByCause: make(map[txn.AbortCause]int64),
+			GrantReads:    make(map[string]int64),
+			GrantWrites:   make(map[string]int64),
 		}}
 		e.backoff = s.policy.Backoff
 		s.entries[key] = e
@@ -372,6 +390,19 @@ func (s *Supervisor) RecordAbort(key string, cause txn.AbortCause, cost time.Dur
 	return VerdictKeep
 }
 
+// RecordGrantAudit adds one dispatch's grant-window access deltas for a
+// compartment region to the graft's ledger row (PR 9 follow-up: the
+// audit trail of who actually used their per-dispatch grants).
+func (s *Supervisor) RecordGrantAudit(key, region string, reads, writes int64) {
+	e := s.get(key)
+	if reads > 0 {
+		e.GrantReads[region] += reads
+	}
+	if writes > 0 {
+		e.GrantWrites[region] += writes
+	}
+}
+
 // RecordRecovery bills a kernel-panic recovery to the offending graft:
 // rewound is the virtual time between the crash instant and the restored
 // checkpoint, i.e. the work the crash destroyed. Kept apart from abort
@@ -464,15 +495,40 @@ func (r Report) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "graft health ledger (%d grafts, %d quarantines, %d expelled):\n",
 		len(r.Grafts), r.Quarantines(), r.Expulsions())
-	fmt.Fprintf(&b, "  %-34s %-11s %5s %6s %5s %5s %4s %11s %4s %11s  %s\n",
-		"GRAFT", "STATE", "INV", "COMMIT", "ABORT", "BLOCK", "QUAR", "ABORTCOST", "REC", "RECCOST", "CAUSES")
+	fmt.Fprintf(&b, "  %-34s %-11s %5s %6s %5s %5s %4s %11s %4s %11s %-14s  %s\n",
+		"GRAFT", "STATE", "INV", "COMMIT", "ABORT", "BLOCK", "QUAR", "ABORTCOST", "REC", "RECCOST", "GRANTS", "CAUSES")
 	for _, g := range r.Grafts {
-		fmt.Fprintf(&b, "  %-34s %-11s %5d %6d %5d %5d %4d %11s %4d %11s  %s\n",
+		fmt.Fprintf(&b, "  %-34s %-11s %5d %6d %5d %5d %4d %11s %4d %11s %-14s  %s\n",
 			g.Key, g.State, g.Invocations, g.Commits, g.Aborts, g.ShortCircuits,
 			g.Quarantines, fmtCost(g.AbortCost), g.Recoveries, fmtCost(g.RecoveryCost),
-			causesString(g.AbortsByCause))
+			grantsString(g.GrantReads, g.GrantWrites), causesString(g.AbortsByCause))
 	}
 	return b.String()
+}
+
+// grantsString renders per-region grant-window usage as
+// "region=<reads>r/<writes>w", regions sorted for determinism.
+func grantsString(reads, writes map[string]int64) string {
+	regions := make(map[string]bool, len(reads)+len(writes))
+	for r := range reads {
+		regions[r] = true
+	}
+	for r := range writes {
+		regions[r] = true
+	}
+	if len(regions) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(regions))
+	for r := range regions {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, r := range names {
+		parts = append(parts, fmt.Sprintf("%s=%dr/%dw", r, reads[r], writes[r]))
+	}
+	return strings.Join(parts, ",")
 }
 
 func fmtCost(d time.Duration) string {

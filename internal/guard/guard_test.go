@@ -242,3 +242,47 @@ func TestReportDeterministicAndSorted(t *testing.T) {
 		t.Fatalf("StateOf unknown = %v,%v", st, ok)
 	}
 }
+
+// TestGrantAuditCounters: per-region grant-window usage accumulates in
+// the health ledger, snapshots deep-copy it, and the table renders a
+// GRANTS column in deterministic region order.
+func TestGrantAuditCounters(t *testing.T) {
+	s, _, _ := newSup(Policy{})
+	const key = "pt#img"
+	s.Admit(key)
+	s.RecordGrantAudit(key, "share", 2, 3)
+	s.RecordGrantAudit(key, "share", 1, 0)
+	s.RecordGrantAudit(key, "buf", 0, 5)
+	s.RecordCommit(key)
+
+	h, ok := s.Health(key)
+	if !ok {
+		t.Fatal("no health entry")
+	}
+	if h.GrantReads["share"] != 3 || h.GrantWrites["share"] != 3 {
+		t.Fatalf("share audit = %dr/%dw, want 3r/3w", h.GrantReads["share"], h.GrantWrites["share"])
+	}
+	if h.GrantReads["buf"] != 0 || h.GrantWrites["buf"] != 5 {
+		t.Fatalf("buf audit = %dr/%dw, want 0r/5w", h.GrantReads["buf"], h.GrantWrites["buf"])
+	}
+	// The snapshot is a copy: mutating it must not touch the ledger.
+	h.GrantReads["share"] = 99
+	if h2, _ := s.Health(key); h2.GrantReads["share"] != 3 {
+		t.Fatal("Health handed out the live grant-audit map")
+	}
+
+	tbl := s.Report().Table()
+	if !strings.Contains(tbl, "GRANTS") {
+		t.Fatalf("table missing GRANTS column:\n%s", tbl)
+	}
+	if !strings.Contains(tbl, "buf=0r/5w,share=3r/3w") {
+		t.Fatalf("grants cell wrong or unsorted:\n%s", tbl)
+	}
+
+	// Grafts without grant traffic render the empty marker.
+	s.Admit("quiet#g")
+	s.RecordCommit("quiet#g")
+	if h3, _ := s.Health("quiet#g"); len(h3.GrantReads) != 0 || len(h3.GrantWrites) != 0 {
+		t.Fatalf("quiet graft has audit entries: %+v %+v", h3.GrantReads, h3.GrantWrites)
+	}
+}

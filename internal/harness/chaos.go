@@ -116,6 +116,12 @@ type ChaosConfig struct {
 	// inside the chaos kernel to prove sfi-violation containment under
 	// load. Off by default, keeping existing golden dumps byte-identical.
 	RedTeam bool
+	// NoTranslate runs every graft on the interpreting VM engine
+	// instead of the install-time native-Go translation. Reports and
+	// trace dumps are byte-identical either way — that equivalence is a
+	// CI invariant — so the switch exists for oracle A/B runs and
+	// wall-clock comparisons.
+	NoTranslate bool
 }
 
 func (cfg ChaosConfig) withDefaults() ChaosConfig {
@@ -382,6 +388,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		NumCPUs:     cfg.NCPU,
 		FaultPlan:   plan,
 		GuardPolicy: cfg.Guard,
+		NoTranslate: cfg.NoTranslate,
 	}
 	if cfg.Crash && !cfg.NoRecover {
 		kcfg.CheckpointEvery = cfg.CheckpointEvery

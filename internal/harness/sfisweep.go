@@ -7,10 +7,18 @@ package harness
 // cycles. This is the cost side of the compartment tentpole: what the
 // typed memory views charge per access over the flat mask, and how much
 // of it the region-aware optimizer claws back.
+//
+// Each variant is additionally timed in host nanoseconds on both VM
+// engines — the interpreter and the install-time translated closures.
+// Executed cycles are asserted identical across engines (translation
+// must not change the accounting); host time is where translation pays.
+// Wall-clock numbers never enter String(), so goldens stay
+// deterministic; HostSummary() renders them with the perf gate.
 
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"vino/internal/sfi"
 )
@@ -50,24 +58,33 @@ const accessesPerIter = 6
 
 // SFISweepPoint is one pipeline variant's measurement.
 type SFISweepPoint struct {
-	Variant string
-	// Cycles is the VM's total executed-cycle count for the workload.
-	Cycles int64
+	Variant string `json:"variant"`
+	// Cycles is the VM's total executed-cycle count for one workload
+	// call — asserted identical on both engines.
+	Cycles int64 `json:"cycles"`
 	// PerAccess is Cycles normalised per checked memory access, the
 	// comparable overhead number.
-	PerAccess float64
+	PerAccess float64 `json:"cyc_per_access"`
 	// Checks counts run-time check instructions (SANDBOX or CHK*) left
 	// in the image after the pipeline ran — the static-discharge
 	// scoreboard.
-	Checks int
+	Checks int `json:"checks"`
 	// Code is the image length in instructions.
-	Code int
+	Code int `json:"code"`
+	// Fusions is how many multi-instruction closures the translator
+	// certified for this image.
+	Fusions int `json:"fusions"`
+	// InterpNS and TransNS are host nanoseconds per checked access on
+	// the interpreter and on the translated closure engine (best of
+	// several reps). Wall-clock: kept out of String().
+	InterpNS float64 `json:"interp_ns_per_access"`
+	TransNS  float64 `json:"trans_ns_per_access"`
 }
 
 // SFISweepResult is the full sweep.
 type SFISweepResult struct {
-	Iters  int
-	Points []SFISweepPoint
+	Iters  int             `json:"iters"`
+	Points []SFISweepPoint `json:"points"`
 }
 
 // String renders the sweep as a table with overhead relative to the
@@ -90,6 +107,50 @@ func (r *SFISweepResult) String() string {
 		fmt.Fprintf(&b, "  %-24s %12d %12.2f %8d %6d %10s\n",
 			p.Variant, p.Cycles, p.PerAccess, p.Checks, p.Code, over)
 	}
+	return b.String()
+}
+
+// Overhead reports the compartment pipeline's per-access check cost in
+// host nanoseconds over the unsafe baseline, per engine, and whether
+// the translation perf gate holds: the translated compartment overhead
+// must be at most half the interpreted one.
+func (r *SFISweepResult) Overhead() (interpNS, transNS float64, gateOK bool) {
+	pt := map[string]SFISweepPoint{}
+	for _, p := range r.Points {
+		pt[p.Variant] = p
+	}
+	u, c := pt["unsafe"], pt["compartment"]
+	interpNS = c.InterpNS - u.InterpNS
+	transNS = c.TransNS - u.TransNS
+	gateOK = interpNS > 0 && transNS > 0 && transNS <= interpNS/2
+	return interpNS, transNS, gateOK
+}
+
+// HostSummary renders the wall-clock side of the sweep: ns/access per
+// engine, per-variant speedup, and the gate verdict. Non-deterministic
+// by nature — never part of a golden.
+func (r *SFISweepResult) HostSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SFI host time per access: interpreter vs translated closures (%d iterations)\n", r.Iters)
+	fmt.Fprintf(&b, "  %-24s %14s %14s %9s %8s\n", "variant", "interp ns/acc", "trans ns/acc", "speedup", "fusions")
+	for _, p := range r.Points {
+		speed := "-"
+		if p.TransNS > 0 {
+			speed = fmt.Sprintf("%.2fx", p.InterpNS/p.TransNS)
+		}
+		fmt.Fprintf(&b, "  %-24s %14.1f %14.1f %9s %8d\n", p.Variant, p.InterpNS, p.TransNS, speed, p.Fusions)
+	}
+	oi, ot, ok := r.Overhead()
+	fmt.Fprintf(&b, "  compartment check overhead vs unsafe: interpreted %.1f ns/access, translated %.1f ns/access", oi, ot)
+	if ot > 0 {
+		fmt.Fprintf(&b, " (%.2fx cut)", oi/ot)
+	}
+	b.WriteByte('\n')
+	verdict := "PASS"
+	if !ok {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "  gate (translated overhead <= half interpreted): %s\n", verdict)
 	return b.String()
 }
 
@@ -143,21 +204,57 @@ func SFIOverheadSweep(iters int) (*SFISweepResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sfi sweep: build %s: %w", v.name, err)
 		}
-		vm, err := sfi.NewVM(img, sfi.Config{})
+		prog, err := sfi.Translate(img)
 		if err != nil {
-			return nil, fmt.Errorf("sfi sweep: vm %s: %w", v.name, err)
+			return nil, fmt.Errorf("sfi sweep: translate %s: %w", v.name, err)
 		}
-		if _, err := vm.Call("main"); err != nil {
-			return nil, fmt.Errorf("sfi sweep: run %s: %w", v.name, err)
+		interpNS, interpCyc, err := hostNSPerAccess(img, sfi.Config{}, iters)
+		if err != nil {
+			return nil, fmt.Errorf("sfi sweep: run %s interpreted: %w", v.name, err)
 		}
-		cycles := vm.TotalCycles()
+		transNS, transCyc, err := hostNSPerAccess(img, sfi.Config{Program: prog}, iters)
+		if err != nil {
+			return nil, fmt.Errorf("sfi sweep: run %s translated: %w", v.name, err)
+		}
+		if interpCyc != transCyc {
+			return nil, fmt.Errorf("sfi sweep: %s cycle accounting diverges across engines: interpreted %d, translated %d", v.name, interpCyc, transCyc)
+		}
 		res.Points = append(res.Points, SFISweepPoint{
 			Variant:   v.name,
-			Cycles:    cycles,
-			PerAccess: float64(cycles) / float64(iters*accessesPerIter),
+			Cycles:    interpCyc,
+			PerAccess: float64(interpCyc) / float64(iters*accessesPerIter),
 			Checks:    countChecks(img),
 			Code:      len(img.Code),
+			Fusions:   prog.Fusions(),
+			InterpNS:  interpNS,
+			TransNS:   transNS,
 		})
 	}
 	return res, nil
+}
+
+// hostNSPerAccess times one workload call in host nanoseconds per
+// checked access: one warmup call (also the cycle measurement), then
+// the best of several timed reps on the same VM — min, not mean, is
+// the right estimator for a noisy shared host.
+func hostNSPerAccess(img *sfi.Image, cfg sfi.Config, iters int) (float64, int64, error) {
+	vm, err := sfi.NewVM(img, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := vm.Call("main"); err != nil {
+		return 0, 0, err
+	}
+	cycles := vm.TotalCycles()
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < 5; rep++ {
+		start := time.Now()
+		if _, err := vm.Call("main"); err != nil {
+			return 0, 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(iters*accessesPerIter), cycles, nil
 }

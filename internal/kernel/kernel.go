@@ -51,6 +51,11 @@ type Config struct {
 	UnsafeGrafts bool
 	// VMCosts overrides the graft VM cycle model.
 	VMCosts *sfi.Costs
+	// NoTranslate forces every graft onto the interpreting VM engine.
+	// By default verified images are compiled to native Go closures at
+	// install time — observably identical (same traps, same virtual-time
+	// cycle accounting, same traces), only host wall-clock differs.
+	NoTranslate bool
 	// TraceDepth sizes the kernel flight recorder (default 256 events).
 	TraceDepth int
 	// Seed drives deterministic pseudo-random decisions (fault plans,
@@ -177,6 +182,7 @@ func New(cfg Config) *Kernel {
 	reg := graft.NewRegistry(clock, txns, signer)
 	reg.UnsafeAllowed = cfg.UnsafeGrafts
 	reg.Costs = cfg.VMCosts
+	reg.NoTranslate = cfg.NoTranslate
 	tr := trace.New(cfg.TraceDepth)
 	reg.Trace = tr
 	locks.Trace = tr

@@ -337,9 +337,9 @@ aux:
 			Want: Rejected,
 			Build: func() (*sfi.Image, error) {
 				return &sfi.Image{
-					Name: "overlap",
-					Safe: true,
-					Code: []sfi.Instr{{Op: sfi.RET}},
+					Name:  "overlap",
+					Safe:  true,
+					Code:  []sfi.Instr{{Op: sfi.RET}},
 					Funcs: map[string]int{"main": 0},
 					Layout: &sfi.Layout{SegSize: 64 << 10, Regions: []sfi.Region{
 						{Name: "heap", Kind: sfi.RegionHeap, Off: 0, Size: 49160, Perm: sfi.PermRW},
@@ -368,6 +368,97 @@ aux:
 				}, nil
 			},
 		},
+		{
+			Name: "closure-cache-poisoning",
+			Desc: "reinstall pairs a same-named evil image with the benign image's cached translated closures",
+			Want: Contained,
+			Build: buildComp(`
+.name cachemark
+.func main
+main:
+    movi r2, 7
+    addi r3, r10, 64
+    st [r3+0], r2
+    ret
+`),
+			Exploit: func(vm *sfi.VM) error {
+				// The "cache" holds the benign image's program. The attack
+				// reinstalls different code under the same image name and
+				// tries to run it on those closures — if the loader pairs
+				// them, the evil image executes code compiled from the
+				// benign one and every check placement certified for it is
+				// a lie.
+				benign, err := sfi.Translate(vm.Image())
+				if err != nil {
+					return fmt.Errorf("%w: translate benign: %v", ErrSetup, err)
+				}
+				evil, _, err := sfi.BuildCompartmented(`
+.name cachemark
+.func main
+main:
+    movi r1, 49152
+    add r1, r1, r10
+    st [r1+0], r2
+    ret
+`, corpusSigner)
+				if err != nil {
+					return fmt.Errorf("%w: build evil twin: %v", ErrSetup, err)
+				}
+				poisoned, err := sfi.NewVM(evil, sfi.Config{MaxCycles: 1 << 20, Program: benign})
+				if err == nil {
+					_, _ = poisoned.Call("main")
+					return nil // the loader accepted the stale pairing: escape
+				}
+				return err // refused: the content-hash key held
+			},
+		},
+		{
+			Name: "grant-replay-engine-switch",
+			Desc: "replay a revoked grant on the opposite VM engine, hunting a translation-only grant leak",
+			Want: Contained,
+			Build: buildComp(`
+.name engineswap
+.func main
+main:
+    movi r1, 40960
+    add r1, r1, r10
+    movi r2, 7
+    st [r1+0], r2
+    ret
+`),
+			Exploit: func(vm *sfi.VM) error {
+				replay := func(v *sfi.VM) error {
+					if _, err := v.Grant(shareOff, 64, sfi.PermRW); err != nil {
+						return fmt.Errorf("%w: grant: %v", ErrSetup, err)
+					}
+					if _, err := v.Call("main"); err != nil {
+						return fmt.Errorf("%w: granted write trapped: %v", ErrSetup, err)
+					}
+					v.RevokeGrants()
+					_, err := v.Call("main")
+					return err
+				}
+				err1 := replay(vm)
+				if errors.Is(err1, ErrSetup) {
+					return err1
+				}
+				other, err := sfi.NewVM(vm.Image(), sfi.Config{MaxCycles: 1 << 20, Translate: !vm.Translated()})
+				if err != nil {
+					return fmt.Errorf("%w: engine-switch vm: %v", ErrSetup, err)
+				}
+				err2 := replay(other)
+				if errors.Is(err2, ErrSetup) {
+					return err2
+				}
+				if err1 == nil || err2 == nil {
+					return nil // a replay got through on either engine: escape
+				}
+				if err1.Error() != err2.Error() {
+					return fmt.Errorf("%w: engines disagree on the replay trap: %q vs %q", ErrSetup, err1, err2)
+				}
+				return err1
+			},
+		},
 	}
 }
 
@@ -379,6 +470,11 @@ type Config struct {
 	// Workers bounds concurrency (default 1). Wall-clock only: the
 	// report is byte-identical at any value.
 	Workers int
+	// Translate runs contained cases on the translated closure engine
+	// instead of the interpreter. Reports are byte-identical either way
+	// — the translated checks must trap with the exact same errors —
+	// so CI can cmp reports across engines.
+	Translate bool
 }
 
 // Verdict is one case's result.
@@ -394,11 +490,11 @@ func (v Verdict) OK() bool { return v.Got == v.Want }
 
 // Result is a full corpus run, verdicts in corpus order.
 type Result struct {
-	Seed     int64
-	Verdicts []Verdict
-	Rejected int
+	Seed      int64
+	Verdicts  []Verdict
+	Rejected  int
 	Contained int
-	Escapes  int
+	Escapes   int
 	// Mismatches counts non-escape deviations (e.g. a verify-reject
 	// case that the verifier accepted but the VM then contained).
 	Mismatches int
@@ -444,7 +540,7 @@ func Run(cfg Config) *Result {
 	for w := 0; w < cfg.Workers; w++ {
 		go func() {
 			for id := range jobs {
-				verdicts[id] = runCase(cases[id], mix(cfg.Seed, int64(id)))
+				verdicts[id] = runCase(cases[id], mix(cfg.Seed, int64(id)), cfg.Translate)
 			}
 			done <- struct{}{}
 		}()
@@ -475,7 +571,7 @@ func Run(cfg Config) *Result {
 
 // runCase builds, verifies and (if the verifier lets it through) runs
 // one attack under sentinel audit.
-func runCase(c Case, sub int64) Verdict {
+func runCase(c Case, sub int64, translate bool) Verdict {
 	v := Verdict{Case: c.Name, Want: c.Want}
 	img, err := c.Build()
 	if err != nil {
@@ -491,7 +587,7 @@ func runCase(c Case, sub int64) Verdict {
 		v.Detail = err.Error()
 		return v
 	}
-	vm, err := sfi.NewVM(img, sfi.Config{MaxCycles: 1 << 20})
+	vm, err := sfi.NewVM(img, sfi.Config{MaxCycles: 1 << 20, Translate: translate})
 	if err != nil {
 		v.Got = Rejected
 		v.Detail = "vm: " + err.Error()

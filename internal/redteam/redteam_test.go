@@ -51,6 +51,31 @@ func TestCorpusCoversBothLayers(t *testing.T) {
 	}
 }
 
+// TestCorpusCleanTranslated: the same zero-escape bar holds when the
+// contained cases run on the translated closure engine — translation
+// must not open a single hole the interpreter closes.
+func TestCorpusCleanTranslated(t *testing.T) {
+	res := Run(Config{Seed: 7, Translate: true})
+	if !res.Clean() {
+		t.Fatalf("corpus not clean under translation:\n%s", res.Summary())
+	}
+	if res.Escapes != 0 {
+		t.Fatalf("escapes = %d under translation:\n%s", res.Escapes, res.Summary())
+	}
+}
+
+// TestReportIdenticalAcrossEngines: the report is byte-identical whether
+// the corpus runs interpreted or translated — every trap fires at the
+// same layer with the same detail. This is the CI cross-engine cmp in
+// library form.
+func TestReportIdenticalAcrossEngines(t *testing.T) {
+	interp := Run(Config{Seed: 7}).Summary()
+	trans := Run(Config{Seed: 7, Translate: true}).Summary()
+	if interp != trans {
+		t.Fatalf("engine reports diverge:\n--- interpreted\n%s\n--- translated\n%s", interp, trans)
+	}
+}
+
 // TestReportDeterministicAcrossWorkers: the summary is byte-identical
 // at any worker-pool size — the CI determinism cmp in library form.
 func TestReportDeterministicAcrossWorkers(t *testing.T) {
@@ -86,7 +111,7 @@ main:
 			return img, err
 		},
 	}
-	v := runCase(c, 99)
+	v := runCase(c, 99, false)
 	if v.Got != Escaped {
 		t.Fatalf("planted escape scored %s (%s), want escaped", v.Got, v.Detail)
 	}
@@ -106,7 +131,7 @@ func TestSetupFailureIsNotContainment(t *testing.T) {
 		}
 		return ErrSetup
 	}
-	v := runCase(c, 3)
+	v := runCase(c, 3, false)
 	if v.Got != Escaped {
 		t.Fatalf("setup failure scored %s, want escaped", v.Got)
 	}

@@ -6,7 +6,9 @@ package sfi
 // garbage in, error out.
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -191,6 +193,118 @@ main:
 	})
 }
 
+// genTranslateFuzzSrc turns a byte string into a GIR program drawn from
+// templates chosen to stress every translator path: ALU traffic, div and
+// mod (zero divisors included), heap loads/stores at in-range and
+// out-of-range offsets, byte-width accesses, push/pop (balanced and
+// underflowing), wild-pointer stores, forward branches, and kernel
+// calls. Every program ends in ret, so termination is bounded by the
+// branch structure or the cycle cap.
+func genTranslateFuzzSrc(data []byte) string {
+	if len(data) > 512 { // bound program size: keep per-exec cost flat
+		data = data[:512]
+	}
+	var b strings.Builder
+	b.WriteString(".name fdiff\n.import test.mix\n.func main\nmain:\n")
+	b.WriteString("    movi r1, 9\n    movi r2, 5\n    movi r3, 3\n")
+	i := 0
+	arg := func() int {
+		if i >= len(data) {
+			return 0
+		}
+		v := int(data[i])
+		i++
+		return v
+	}
+	reg := func() int { return 1 + arg()%7 } // r1..r7: keep r10/r11/sp intact
+	alu := []string{"add", "sub", "mul", "and", "or", "xor", "shl", "shr"}
+	for i < len(data) {
+		switch arg() % 12 {
+		case 0:
+			fmt.Fprintf(&b, "    movi r%d, %d\n", reg(), arg()-128)
+		case 1:
+			fmt.Fprintf(&b, "    addi r%d, r%d, %d\n", reg(), reg(), arg()-128)
+		case 2:
+			fmt.Fprintf(&b, "    %s r%d, r%d, r%d\n", alu[arg()%len(alu)], reg(), reg(), reg())
+		case 3:
+			fmt.Fprintf(&b, "    div r%d, r%d, r%d\n", reg(), reg(), reg())
+		case 4:
+			fmt.Fprintf(&b, "    mod r%d, r%d, r%d\n", reg(), reg(), reg())
+		case 5: // heap store+load; offsets up to ~24k cross region bounds
+			r := reg()
+			off := arg() * 97
+			fmt.Fprintf(&b, "    addi r%d, r10, %d\n    st [r%d+0], r%d\n    ld r%d, [r%d+0]\n", r, off, r, reg(), reg(), r)
+		case 6: // byte-width traffic
+			r := reg()
+			fmt.Fprintf(&b, "    addi r%d, r10, %d\n    stb [r%d+0], r%d\n    ldb r%d, [r%d+0]\n", r, arg()%4096, r, reg(), reg(), r)
+		case 7: // balanced push/pop
+			r := reg()
+			fmt.Fprintf(&b, "    push r%d\n    pop r%d\n", r, reg())
+		case 8: // lone pop: may underflow the shadow/stack — trap parity
+			fmt.Fprintf(&b, "    pop r%d\n", reg())
+		case 9: // wild-pointer store: whatever the register holds
+			fmt.Fprintf(&b, "    st [r%d+0], r%d\n", reg(), reg())
+		case 10:
+			fmt.Fprintf(&b, "    jz r%d, end\n", reg())
+		case 11:
+			fmt.Fprintf(&b, "    movi r1, %d\n    movi r2, %d\n    callk test.mix\n", arg()%64, arg()%64)
+		}
+	}
+	b.WriteString("end:\n    ret\n")
+	return b.String()
+}
+
+// FuzzTranslateDiff is the differential fuzz target for the install-time
+// translator: every generated program, under every toolchain pipeline,
+// must behave bit-identically on the interpreter and the translated
+// closure engine — result, trap, all registers, heap bytes, kernel
+// memory, cycle accounting, hook-flush schedule, and grant audits. Any
+// divergence ExecDiff can see is a translator bug. CI runs this briefly
+// (-fuzz FuzzTranslateDiff -fuzztime 30s).
+func FuzzTranslateDiff(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(0), uint8(0))
+	f.Add([]byte{0, 10, 1, 2, 3, 4, 5, 200, 7, 9, 11, 3}, uint8(3), uint8(0), uint8(0))
+	f.Add([]byte{5, 255, 1, 9, 2, 2, 8, 4}, uint8(4), uint8(0), uint8(1))
+	f.Add([]byte{3, 0, 0, 0, 10, 1, 11, 9, 9}, uint8(1), uint8(2), uint8(0))
+	f.Add([]byte{7, 1, 8, 2, 5, 3, 6, 4, 0, 5, 2, 6}, uint8(2), uint8(30), uint8(1))
+	builders := map[uint8]func(string, *Signer) (*Image, RewriteStats, error){
+		1: BuildSafe,
+		2: BuildSafeOptimized,
+		3: BuildCompartmented,
+		4: BuildCompartmentedOptimized,
+	}
+	signer := NewSigner([]byte("fuzz-diff"))
+	f.Fuzz(func(t *testing.T, data []byte, pipeline, cycles, grant uint8) {
+		src := genTranslateFuzzSrc(data)
+		var img *Image
+		var err error
+		if build, ok := builders[pipeline%5]; ok {
+			img, _, err = build(src, signer)
+		} else {
+			img, err = BuildUnsafe(src)
+		}
+		if err != nil {
+			t.Skip() // the generator emitted something a pipeline refuses
+		}
+		cfg := Config{Kernel: mixKernel(), HookEvery: 32, Hook: func(int64) {}}
+		if cycles > 0 {
+			cfg.MaxCycles = int64(cycles)*50 + 100 // small caps: fuel-trap parity
+		} else {
+			cfg.MaxCycles = 1 << 20
+		}
+		var prep func(*VM) error
+		if grant&1 == 1 && img.Layout != nil {
+			prep = func(vm *VM) error {
+				_, err := vm.Grant(40960, 64, PermRW)
+				return err
+			}
+		}
+		if err := ExecDiff(img, cfg, prep, "main"); err != nil {
+			t.Fatalf("engines diverge:\n%v\nsource:\n%s", err, src)
+		}
+	})
+}
+
 // FuzzVerifyCompartments throws malformed region tables — overlapping
 // regions, zero-length, out-of-segment, bad permission bits, wrong
 // kinds — at the verifier. The invariant: Verify never panics, and
@@ -204,11 +318,11 @@ func FuzzVerifyCompartments(f *testing.F) {
 			r1.Off, r1.Size, uint8(r1.Kind), uint8(r1.Perm),
 			r2.Off, r2.Size, uint8(r2.Kind), uint8(r2.Perm), true)
 	}
-	add(d.Regions[0], d.Regions[3])                                     // heap + stack: valid
-	add(Region{Off: 0, Size: 4096, Perm: 3}, Region{Off: 2048, Size: 4096, Kind: 1, Perm: 3})        // overlapping
-	add(Region{Off: 0, Size: 0, Perm: 3}, Region{Off: 4096, Size: 4096, Kind: 1, Perm: 3})           // zero-length
-	add(Region{Off: 0, Size: 4096, Perm: 3}, Region{Off: 1 << 40, Size: 4096, Kind: 1, Perm: 3})     // out of segment
-	add(Region{Off: 0, Size: 4096, Perm: 7}, Region{Off: 4096, Size: 4096, Kind: 1, Perm: 3})        // bad perm bits
+	add(d.Regions[0], d.Regions[3])                                                                    // heap + stack: valid
+	add(Region{Off: 0, Size: 4096, Perm: 3}, Region{Off: 2048, Size: 4096, Kind: 1, Perm: 3})          // overlapping
+	add(Region{Off: 0, Size: 0, Perm: 3}, Region{Off: 4096, Size: 4096, Kind: 1, Perm: 3})             // zero-length
+	add(Region{Off: 0, Size: 4096, Perm: 3}, Region{Off: 1 << 40, Size: 4096, Kind: 1, Perm: 3})       // out of segment
+	add(Region{Off: 0, Size: 4096, Perm: 7}, Region{Off: 4096, Size: 4096, Kind: 1, Perm: 3})          // bad perm bits
 	add(Region{Off: 0, Size: 4096, Kind: 9, Perm: 3}, Region{Off: 4096, Size: 4096, Kind: 1, Perm: 3}) // bad kind
 	f.Fuzz(func(t *testing.T, segSize,
 		off1, size1 int64, kind1, perm1 uint8,

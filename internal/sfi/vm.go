@@ -3,6 +3,7 @@ package sfi
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // KernelFunc is a kernel function exposed to grafts via CALLK. Arguments
@@ -85,6 +86,16 @@ type Config struct {
 	// Kernel maps symbol names to implementations; every symbol the
 	// image imports must resolve.
 	Kernel map[string]KernelFunc
+	// Translate compiles the image to native Go closures at VM
+	// construction (see translate.go) instead of interpreting GIR per
+	// step. Semantics are bit-identical — the interpreter remains the
+	// oracle — only host wall-clock changes.
+	Translate bool
+	// Program installs an already-translated program (the registry's
+	// install-time cache). Its TranslationKey must match the image:
+	// NewVM refuses a stale or foreign program rather than executing
+	// closures compiled from different code.
+	Program *Program
 }
 
 // VM executes one graft image inside a private sandbox.
@@ -108,6 +119,17 @@ type VM struct {
 	layout    *Layout
 	grants    []grantWindow
 	nextGrant int
+	// Translated engine state: prog is the closure chain (nil =
+	// interpret), costTab the cycle model indexed by opcode so closures
+	// skip the cost switch.
+	prog    *Program
+	costTab [opCount]int64
+	// Grant-window audit: accesses that only an active grant allowed,
+	// keyed by the region the window lives in. Both engines funnel
+	// grant-satisfied checks through regionCheck, so the counters are
+	// engine-independent.
+	grantReads  map[string]int64
+	grantWrites map[string]int64
 }
 
 // grantWindow is one per-dispatch shared-buffer grant inside the share
@@ -185,6 +207,22 @@ func NewVM(img *Image, cfg Config) (*VM, error) {
 		}
 		vm.kernel[i] = fn
 	}
+	for op := Op(0); op < opCount; op++ {
+		vm.costTab[op] = vm.costs.cost(op)
+	}
+	switch {
+	case cfg.Program != nil:
+		if key := TranslationKey(img); cfg.Program.key != key {
+			return nil, fmt.Errorf("sfi: translated program %s.. does not match image %q (%s..)", cfg.Program.key[:12], img.Name, key[:12])
+		}
+		vm.prog = cfg.Program
+	case cfg.Translate:
+		p, err := Translate(img)
+		if err != nil {
+			return nil, err
+		}
+		vm.prog = p
+	}
 	return vm, nil
 }
 
@@ -230,6 +268,19 @@ func (vm *VM) charge(c int64) {
 	}
 }
 
+// tick is the translated engine's per-instruction accounting: the
+// exact steps/charge/fuel sequence the interpreter's loop head
+// performs, in the same order, so preemption hooks flush and the fuel
+// limit trips at identical instants on both engines.
+func (vm *VM) tick(c int64) error {
+	vm.steps++
+	vm.charge(c)
+	if vm.maxCyc > 0 && vm.total > vm.maxCyc {
+		return fmt.Errorf("%w: %d cycles", ErrCycleLimit, vm.total)
+	}
+	return nil
+}
+
 func (vm *VM) flush() {
 	if vm.hook != nil && vm.pending > 0 {
 		p := vm.pending
@@ -266,11 +317,25 @@ func (vm *VM) Call(entry string, args ...int64) (int64, error) {
 	}
 	vm.shadow = vm.shadow[:0]
 	defer vm.flush()
-	if err := vm.run(pc); err != nil {
-		return 0, err
+	var runErr error
+	if vm.prog != nil {
+		runErr = vm.prog.run(vm, pc)
+	} else {
+		runErr = vm.run(pc)
+	}
+	if runErr != nil {
+		return 0, runErr
 	}
 	return vm.regs[0], nil
 }
+
+// Translated reports whether this VM dispatches through the translated
+// closure program rather than the interpreter.
+func (vm *VM) Translated() bool { return vm.prog != nil }
+
+// TranslatedProgram returns the installed closure program (nil when
+// interpreting).
+func (vm *VM) TranslatedProgram() *Program { return vm.prog }
 
 func (vm *VM) memErr(pc int, ins Instr, addr int64, n int) error {
 	detail := fmt.Sprintf("access of %d bytes at address %d outside arena [0,%d)", n, addr, len(vm.arena))
@@ -495,6 +560,7 @@ func (vm *VM) regionCheck(pc int, ins Instr) error {
 	if ins.Op != CHKS {
 		for _, g := range vm.grants {
 			if off >= g.off && off+width <= g.off+g.size && g.perm&need == need {
+				vm.noteGrantUse(off, width, need)
 				return nil
 			}
 		}
@@ -507,6 +573,59 @@ func (vm *VM) regionCheck(pc int, ins Instr) error {
 		return viol(fmt.Sprintf("%s of %d bytes at segment offset %d denied by region %q (%s, %s)", what, width, off, reg.Name, reg.Kind, reg.Perm))
 	}
 	return viol(fmt.Sprintf("%s of %d bytes at segment offset %d hits no region or active grant", what, width, off))
+}
+
+// noteGrantUse tallies an access that only an active grant window
+// allowed (a statically-permitted region access never reaches the
+// grant loop), keyed by the layout region the window lives in.
+func (vm *VM) noteGrantUse(off, width int64, need Perm) {
+	name := "?"
+	if r := vm.layout.Find(off, width); r != nil {
+		name = r.Name
+	}
+	if need == PermWrite {
+		if vm.grantWrites == nil {
+			vm.grantWrites = make(map[string]int64)
+		}
+		vm.grantWrites[name]++
+		return
+	}
+	if vm.grantReads == nil {
+		vm.grantReads = make(map[string]int64)
+	}
+	vm.grantReads[name]++
+}
+
+// GrantAudit is one region's tally of grant-window accesses: how often
+// the graft touched memory it could only reach through a per-dispatch
+// grant, not through its static compartment permissions.
+type GrantAudit struct {
+	Region string
+	Reads  int64
+	Writes int64
+}
+
+// GrantAudits returns the per-region grant-window usage counters,
+// sorted by region name. Counters accumulate for the life of the VM;
+// the dispatch layer harvests per-dispatch deltas into the guard
+// health ledger.
+func (vm *VM) GrantAudits() []GrantAudit {
+	names := make(map[string]bool, len(vm.grantReads)+len(vm.grantWrites))
+	for n := range vm.grantReads {
+		names[n] = true
+	}
+	for n := range vm.grantWrites {
+		names[n] = true
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	out := make([]GrantAudit, 0, len(names))
+	for n := range names {
+		out = append(out, GrantAudit{Region: n, Reads: vm.grantReads[n], Writes: vm.grantWrites[n]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out
 }
 
 // Layout returns the compartment layout installed in this VM (nil for
